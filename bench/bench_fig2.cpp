@@ -1,0 +1,56 @@
+// Figure 2: timing violation points (registers with violations) on the
+// heterogeneous MAERI 128PE design under the three flows. The paper reports
+// SOTA reducing violations by 68% and GNN-MLS by 80% versus No MLS.
+#include "common.hpp"
+
+using namespace gnnmls;
+using namespace gnnmls::mls;
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::print_header("Figure 2", "timing violation points, hetero MAERI 128PE");
+
+  FlowConfig cfg;
+  cfg.heterogeneous = true;
+  cfg.run_pdn = false;
+  DesignFlow eval_flow(netlist::make_maeri_128pe(), cfg);
+  DesignFlow train_a7(netlist::make_a7_single_core(), cfg);
+  auto trained = bench::train_bench_engine({&eval_flow, &train_a7});
+
+  const FlowMetrics none = eval_flow.evaluate_no_mls();
+  const FlowMetrics sota = eval_flow.evaluate_sota();
+  const FlowMetrics gnn = eval_flow.evaluate_gnn(*trained.engine);
+
+  auto reduction = [&](std::size_t v) {
+    return none.violating == 0
+               ? 0.0
+               : 100.0 * (1.0 - static_cast<double>(v) / static_cast<double>(none.violating));
+  };
+  util::Table t({"Flow", "violating registers", "reduction vs No MLS", "paper reduction"});
+  t.add_row({"No MLS", util::fmt_count(static_cast<long long>(none.violating)), "-", "-"});
+  t.add_row({"SOTA", util::fmt_count(static_cast<long long>(sota.violating)),
+             bench::fmt1(reduction(sota.violating)) + "%", "68%"});
+  t.add_row({"GNN-MLS", util::fmt_count(static_cast<long long>(gnn.violating)),
+             bench::fmt1(reduction(gnn.violating)) + "%", "80%"});
+  t.print();
+
+  // ASCII stand-in for the violation maps: violating endpoints per die row.
+  bench::note("\nViolation density per die row (# = violating endpoints, baseline flow):");
+  eval_flow.evaluate_no_mls();
+  const auto& nl = eval_flow.design().nl;
+  const int rows = 12;
+  std::vector<int> histogram(rows, 0);
+  for (netlist::Id p = 0; p < nl.num_pins(); ++p) {
+    if (!eval_flow.sta().is_endpoint(p) || eval_flow.sta().slack_ps(p) >= 0.0) continue;
+    const auto& cell = nl.cell(nl.pin(p).cell);
+    const int row = std::min(rows - 1, static_cast<int>(cell.y_um /
+                                                        eval_flow.design().info.die_h_um * rows));
+    ++histogram[row];
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::printf("  y%2d |", r);
+    for (int i = 0; i < histogram[r] && i < 70; ++i) std::printf("#");
+    std::printf(" %d\n", histogram[r]);
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark): throughput of the substrate pieces
+// the flow iterates — routing, STA, what-if trials, transformer passes, and
+// fault simulation. These back the paper's runtime discussion (Table IV
+// reports 15-35 minute GNN-MLS runtimes on commercial tooling; our substrate
+// turns the full flow around in seconds).
+#include <benchmark/benchmark.h>
+
+#include "dft/faults.hpp"
+#include "ml/dgi.hpp"
+#include "ml/mlp.hpp"
+#include "mls/flow.hpp"
+#include "util/log.hpp"
+
+using namespace gnnmls;
+
+namespace {
+
+struct FlowState {
+  FlowState() {
+    util::set_log_level(util::LogLevel::kError);
+    mls::FlowConfig cfg;
+    cfg.heterogeneous = true;
+    cfg.run_pdn = false;
+    flow = std::make_unique<mls::DesignFlow>(netlist::make_maeri_16pe(), cfg);
+    flow->evaluate_no_mls();
+  }
+  std::unique_ptr<mls::DesignFlow> flow;
+};
+
+FlowState& state() {
+  static FlowState s;
+  return s;
+}
+
+void BM_RouteAll(benchmark::State& st) {
+  auto& f = *state().flow;
+  for (auto _ : st) {
+    benchmark::DoNotOptimize(f.router().route_all({}));
+  }
+  st.counters["nets/s"] = benchmark::Counter(
+      static_cast<double>(f.design().nl.num_nets()) * static_cast<double>(st.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RouteAll)->Unit(benchmark::kMillisecond);
+
+void BM_StaFullRun(benchmark::State& st) {
+  auto& f = *state().flow;
+  for (auto _ : st) benchmark::DoNotOptimize(f.sta().run(400.0, 40.0));
+  st.counters["pins/s"] = benchmark::Counter(
+      static_cast<double>(f.design().nl.num_pins()) * static_cast<double>(st.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StaFullRun)->Unit(benchmark::kMillisecond);
+
+void BM_TrialRoute(benchmark::State& st) {
+  auto& f = *state().flow;
+  // Pick a mid-sized net.
+  netlist::Id target = 0;
+  for (netlist::Id n = 0; n < f.design().nl.num_nets(); ++n)
+    if (f.design().nl.net_hpwl_um(n) > 100.0) {
+      target = n;
+      break;
+    }
+  for (auto _ : st) benchmark::DoNotOptimize(f.router().trial_route(target, true));
+}
+BENCHMARK(BM_TrialRoute)->Unit(benchmark::kMicrosecond);
+
+void BM_PathExtraction(benchmark::State& st) {
+  auto& f = *state().flow;
+  f.sta().run(250.0, 40.0);  // force a violating population
+  sta::PathExtractOptions opt;
+  opt.max_paths = 200;
+  for (auto _ : st) benchmark::DoNotOptimize(sta::extract_paths(f.sta(), opt));
+}
+BENCHMARK(BM_PathExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_TransformerForward(benchmark::State& st) {
+  util::Rng rng(1);
+  ml::TransformerConfig cfg;
+  ml::GraphTransformer enc(cfg, rng);
+  const int n = static_cast<int>(st.range(0));
+  const ml::Mat x = ml::Mat::xavier(n, cfg.input_features, rng);
+  const ml::Mat adj = ml::chain_adjacency(n);
+  for (auto _ : st) benchmark::DoNotOptimize(enc.forward(x, adj));
+  st.counters["nodes/s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(st.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TransformerForward)->Arg(8)->Arg(24)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_TransformerTrainStep(benchmark::State& st) {
+  util::Rng rng(2);
+  ml::TransformerConfig cfg;
+  ml::GraphTransformer enc(cfg, rng);
+  ml::MlpHead head(cfg.dim, 24, rng);
+  const ml::Mat x = ml::Mat::xavier(16, cfg.input_features, rng);
+  const ml::Mat adj = ml::chain_adjacency(16);
+  std::vector<int> labels(16, 1);
+  for (int i = 0; i < 8; ++i) labels[static_cast<std::size_t>(i)] = 0;
+  std::vector<ml::Param*> params = enc.params();
+  for (ml::Param* p : head.params()) params.push_back(p);
+  ml::Adam opt(params, 1e-3);
+  for (auto _ : st) {
+    enc.zero_grad();
+    head.zero_grad();
+    ml::Mat h = enc.forward(x, adj);
+    ml::Mat dh;
+    benchmark::DoNotOptimize(head.loss_and_grad(h, labels, 2.0, dh));
+    enc.backward(dh);
+    opt.step();
+  }
+}
+BENCHMARK(BM_TransformerTrainStep)->Unit(benchmark::kMicrosecond);
+
+void BM_FaultSimulation(benchmark::State& st) {
+  auto& f = *state().flow;
+  for (auto _ : st) {
+    dft::FaultSimulator sim(f.design().nl, dft::TestModel{});
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_FaultSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_MlsGainOracle(benchmark::State& st) {
+  auto& f = *state().flow;
+  std::vector<netlist::Id> nets;
+  for (netlist::Id n = 0; n < f.design().nl.num_nets() && nets.size() < 64; ++n)
+    if (f.design().nl.net_hpwl_um(n) > 60.0 && !f.design().nl.net(n).sinks.empty())
+      nets.push_back(n);
+  for (auto _ : st) {
+    double acc = 0.0;
+    for (netlist::Id n : nets)
+      acc += mls::mls_gain_ps(f.design(), f.tech(), f.router(), n,
+                              f.design().nl.pin(f.design().nl.net(n).sinks[0]).cell);
+    benchmark::DoNotOptimize(acc);
+  }
+  st.counters["nets/s"] = benchmark::Counter(
+      static_cast<double>(nets.size()) * static_cast<double>(st.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MlsGainOracle)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Table III: net-based vs wire-based MLS DFT on MAERI 16PE 4BW with MLS
+// nets. Paper: net-based 444,296 total / 438,152 detected, WNS -21 ps;
+// wire-based 444,346 / 438,276, WNS -23 ps (wire-based detects more faults
+// at slightly worse timing).
+#include "common.hpp"
+#include "dft/dft_mls.hpp"
+
+using namespace gnnmls;
+using namespace gnnmls::mls;
+
+namespace {
+
+struct Arm {
+  std::size_t total = 0, detected = 0;
+  double wns = 0.0;
+  std::size_t mls = 0;
+};
+
+Arm run_arm(dft::MlsDftStyle style) {
+  FlowConfig cfg;
+  cfg.heterogeneous = true;
+  cfg.run_pdn = false;
+  DesignFlow flow(netlist::make_a7_single_core(), cfg);  // trainerless arm uses oracle flags
+  // The paper evaluates on MAERI 16PE 4BW with 16 MLS nets; we select the
+  // oracle-best nets to the same order of count.
+  DesignFlow target(netlist::make_maeri_16pe(), cfg);
+  (void)flow;
+  target.evaluate_no_mls();
+  CorpusOptions co;
+  co.max_paths = 4000;
+  co.include_near_critical = true;
+  co.margin_ps = 120.0;
+  co.attach_labels = true;
+  const Corpus corpus = target.corpus(co);
+  std::vector<std::uint8_t> flags(target.design().nl.num_nets(), 0);
+  std::size_t count = 0;
+  for (const auto& g : corpus.graphs)
+    for (std::size_t i = 0; i < g.labels.size(); ++i)
+      if (g.labels[i] == 1 && g.net_ids[i] != netlist::kNullId && count < 24) {
+        if (!flags[g.net_ids[i]]) ++count;
+        flags[g.net_ids[i]] = 1;
+      }
+  const auto dft = target.evaluate_with_dft(flags, Strategy::kGnn, style);
+  return Arm{dft.total_faults, dft.detected_faults, dft.flow.wns_ps, dft.flow.mls_nets};
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::print_header("Table III", "MLS DFT styles on MAERI 16PE 4BW");
+  const Arm net_based = run_arm(dft::MlsDftStyle::kNetBased);
+  const Arm wire_based = run_arm(dft::MlsDftStyle::kWireBased);
+
+  util::Table t({"DFT method", "Total faults", "Detected", "Coverage", "WNS (ps)", "#MLS"});
+  t.add_row({"Net-based (paper)", "444,296", "438,152", "98.6%", "-21", "16"});
+  t.add_row({"Wire-based (paper)", "444,346", "438,276", "98.6%", "-23", "16"});
+  t.add_row({"Net-based (measured)", util::fmt_count(static_cast<long long>(net_based.total)),
+             util::fmt_count(static_cast<long long>(net_based.detected)),
+             util::fmt_pct(net_based.total ? static_cast<double>(net_based.detected) /
+                                                 static_cast<double>(net_based.total)
+                                           : 0.0),
+             bench::fmt1(net_based.wns), util::fmt_count(static_cast<long long>(net_based.mls))});
+  t.add_row({"Wire-based (measured)", util::fmt_count(static_cast<long long>(wire_based.total)),
+             util::fmt_count(static_cast<long long>(wire_based.detected)),
+             util::fmt_pct(wire_based.total ? static_cast<double>(wire_based.detected) /
+                                                  static_cast<double>(wire_based.total)
+                                            : 0.0),
+             bench::fmt1(wire_based.wns),
+             util::fmt_count(static_cast<long long>(wire_based.mls))});
+  t.print();
+  bench::note("Shape target: wire-based has more total faults AND more detected faults,");
+  bench::note("at equal-or-slightly-worse WNS than net-based.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "dft/dft_mls.hpp"
+
+namespace gnnmls::dft {
+
+using netlist::Id;
+using netlist::kNullId;
+using tech::CellKind;
+
+MlsDftReport insert_mls_dft(netlist::Netlist& nl, const std::vector<route::NetRoute>& routes,
+                            MlsDftStyle style) {
+  MlsDftReport report;
+  const std::size_t original_nets = nl.num_nets();
+  for (Id n = 0; n < original_nets && n < routes.size(); ++n) {
+    if (!routes[n].mls_applied) continue;
+    // Copy the connectivity up front: the insertions below grow the cell and
+    // net arrays, which invalidates references into them.
+    const netlist::Id driver_pin = nl.net(n).driver;
+    const std::vector<Id> sinks = nl.net(n).sinks;
+    if (driver_pin == kNullId || sinks.empty()) continue;
+    ++report.mls_nets;
+
+    const netlist::CellInst drv = nl.cell(nl.pin(driver_pin).cell);
+    // The DFT cells sit at the returning F2F pad; the sink centroid is the
+    // closest thing our model has to that location.
+    double cx = 0.0, cy = 0.0;
+    for (Id sp : sinks) {
+      cx += nl.cell(nl.pin(sp).cell).x_um;
+      cy += nl.cell(nl.pin(sp).cell).y_um;
+    }
+    cx /= static_cast<double>(sinks.size());
+    cy /= static_cast<double>(sinks.size());
+    const std::uint8_t tier = drv.tier;  // 2D-shared net: both ends on one die
+
+    // Bypass mux: A = functional wire, B = test value, S = test enable.
+    const Id mux = nl.add_cell(CellKind::kMux2, tier, static_cast<float>(cx),
+                               static_cast<float>(cy));
+    ++report.cells_added;
+    // Move all sinks behind the mux.
+    for (Id sp : sinks) nl.detach_sink(n, sp);
+    nl.add_sink(n, nl.input_pin(mux, 0));
+    const Id out_net = nl.add_net();
+    nl.set_driver(out_net, nl.output_pin(mux, 0));
+    for (Id sp : sinks) nl.add_sink(out_net, sp);
+
+    // Test-enable port at the mux.
+    const Id te = nl.add_cell(CellKind::kInput, tier, static_cast<float>(cx),
+                              static_cast<float>(cy));
+    nl.connect(te, 0, mux, 2);
+    ++report.cells_added;
+
+    if (style == MlsDftStyle::kNetBased) {
+      // Test value straight from the scan chain (a controllable port).
+      const Id tv = nl.add_cell(CellKind::kInput, tier, static_cast<float>(cx),
+                                static_cast<float>(cy));
+      nl.connect(tv, 0, mux, 1);
+      ++report.cells_added;
+      // The floating pad side of the mux is not exercised pre-bond.
+      report.test_model.untestable_pin_faults.push_back({nl.input_pin(mux, 0), false});
+      report.test_model.untestable_pin_faults.push_back({nl.input_pin(mux, 0), true});
+    } else {
+      // Wire-based: scan FF registers the upstream signal (its D is a
+      // pseudo observation point) and drives the downstream side in test.
+      const Id sdff = nl.add_cell(CellKind::kScanDff, tier, static_cast<float>(cx),
+                                  static_cast<float>(cy));
+      ++report.cells_added;
+      // Tap the upstream (driver) net into the FF's functional D input.
+      nl.add_sink(n, nl.input_pin(sdff, 0));
+      // Scan-in / scan-enable tie-offs.
+      for (int scan_pin = 1; scan_pin <= 2; ++scan_pin) {
+        const Id tie = nl.add_cell(CellKind::kInput, tier, static_cast<float>(cx),
+                                   static_cast<float>(cy));
+        nl.connect(tie, 0, sdff, scan_pin);
+        ++report.cells_added;
+      }
+      nl.connect(sdff, 0, mux, 1);
+    }
+    // Pre-bond the shared segment is open: the functional wire is cut and
+    // the driver is observed through the scan tap at the pad.
+    report.test_model.open_nets.push_back(n);
+    report.test_model.observe_pins.push_back(driver_pin);
+  }
+  return report;
+}
+
+}  // namespace gnnmls::dft

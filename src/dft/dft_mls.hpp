@@ -1,0 +1,41 @@
+// DFT strategies for MLS-enabled hybrid-bonded designs (paper Section III-D,
+// Figure 6, Tables III/VI).
+//
+// An MLS net leaves its die mid-wire and returns through the other die's
+// metal; before bonding that segment is an open circuit, so the driver
+// becomes unobservable and the sinks uncontrollable (Figure 3). Two
+// post-routing insertions close the hole:
+//   * Net-based (Figure 6a): a MUX at the returning F2F pad selects between
+//     the functional wire and a scan-driven test value. The driver side is
+//     tapped into the scan chain for observation. Cheap, but the floating
+//     pad side of the mux (its functional A input) is not itself exercised
+//     in pre-bond test.
+//   * Wire-based (Figure 6b): a scan flip-flop additionally registers the
+//     upstream signal and drives the downstream side in test mode. More
+//     logic (more total faults) but the boundary itself becomes testable —
+//     higher detected-fault count at a slightly worse WNS (the FF load and
+//     bypass mux sit on the functional path).
+#pragma once
+
+#include <vector>
+
+#include "dft/faults.hpp"
+#include "route/router.hpp"
+
+namespace gnnmls::dft {
+
+enum class MlsDftStyle { kNetBased, kWireBased };
+
+struct MlsDftReport {
+  std::size_t mls_nets = 0;
+  std::size_t cells_added = 0;
+  TestModel test_model;  // feed to FaultSimulator for pre-bond analysis
+};
+
+// Splices DFT cells into every net that the (already computed) routing
+// shared across tiers. `routes` must be parallel to nl nets. Mutates the
+// netlist; re-route afterwards (ECO) before timing the result.
+MlsDftReport insert_mls_dft(netlist::Netlist& nl, const std::vector<route::NetRoute>& routes,
+                            MlsDftStyle style);
+
+}  // namespace gnnmls::dft

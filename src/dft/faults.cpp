@@ -1,0 +1,305 @@
+#include "dft/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gnnmls::dft {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+using netlist::PinDir;
+using tech::CellKind;
+
+bool is_pseudo_input_source(const netlist::CellInst& cell, const netlist::Pin& pin) {
+  if (pin.dir != PinDir::kOut) return false;
+  return cell.kind == CellKind::kInput || tech::is_sequential(cell.kind) ||
+         cell.kind == CellKind::kSramMacro;
+}
+
+bool is_observation_point(const netlist::CellInst& cell, const netlist::Pin& pin, int pin_index) {
+  if (pin.dir != PinDir::kIn) return false;
+  if (cell.kind == CellKind::kOutput) return true;
+  if (cell.kind == CellKind::kSramMacro) return true;
+  if (cell.kind == CellKind::kDff) return true;
+  // Scan flops: only the functional D pin (index 0) captures; SI/SE are
+  // shift-mode only.
+  if (cell.kind == CellKind::kScanDff) return pin_index == 0;
+  return false;
+}
+
+}  // namespace
+
+FaultSimulator::FaultSimulator(const netlist::Netlist& nl, const TestModel& model,
+                               const FaultSimOptions& options)
+    : nl_(nl), model_(model), options_(options), rng_(options.seed) {
+  const std::size_t np = nl.num_pins();
+  const int w = options_.pattern_words;
+  good_.assign(np * static_cast<std::size_t>(w), 0);
+  observable_.assign(np, 0);
+  open_net_.assign(nl.num_nets(), 0);
+  is_source_.assign(np, 0);
+  faulty_.assign(np * static_cast<std::size_t>(w), 0);
+  dirty_.assign(np, 0);
+  topo_index_.assign(np, 0);
+
+  for (Id net : model_.open_nets) open_net_[net] = 1;
+  for (Id p = 0; p < np; ++p) {
+    const netlist::Pin& pin = nl.pin(p);
+    const netlist::CellInst& cell = nl.cell(pin.cell);
+    if (is_pseudo_input_source(cell, pin)) is_source_[p] = 1;
+    if (is_observation_point(cell, pin, pin.index)) observable_[p] = 1;
+  }
+  for (Id p : model_.observe_pins) observable_[p] = 1;
+
+  // Topological order over pins (combinational arcs only; sources first).
+  std::vector<std::uint32_t> indeg(np, 0);
+  for (Id c = 0; c < nl.num_cells(); ++c) {
+    const netlist::CellInst& cell = nl.cell(c);
+    if (!tech::is_combinational(cell.kind)) continue;
+    for (int o = 0; o < cell.num_out; ++o) indeg[nl.output_pin(c, o)] += cell.num_in;
+  }
+  for (Id n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == kNullId) continue;
+    for (Id s : net.sinks) indeg[s] += 1;
+  }
+  topo_pins_.reserve(np);
+  for (Id p = 0; p < np; ++p)
+    if (indeg[p] == 0) topo_pins_.push_back(p);
+  for (std::size_t head = 0; head < topo_pins_.size(); ++head) {
+    const Id p = topo_pins_[head];
+    const netlist::Pin& pin = nl.pin(p);
+    const netlist::CellInst& cell = nl.cell(pin.cell);
+    if (pin.dir == PinDir::kIn) {
+      if (tech::is_combinational(cell.kind)) {
+        for (int o = 0; o < cell.num_out; ++o) {
+          const Id q = nl.output_pin(pin.cell, o);
+          if (--indeg[q] == 0) topo_pins_.push_back(q);
+        }
+      }
+    } else if (pin.net != kNullId) {
+      for (Id s : nl.net(pin.net).sinks)
+        if (--indeg[s] == 0) topo_pins_.push_back(s);
+    }
+  }
+  if (topo_pins_.size() != np) throw std::logic_error("fault-sim netlist has a cycle");
+  for (std::size_t i = 0; i < topo_pins_.size(); ++i)
+    topo_index_[topo_pins_[i]] = static_cast<std::uint32_t>(i);
+}
+
+std::uint64_t FaultSimulator::good_value(Id pin, int word) const {
+  return good_[static_cast<std::size_t>(pin) * options_.pattern_words +
+               static_cast<std::size_t>(word)];
+}
+
+std::uint64_t FaultSimulator::eval_cell(Id cell_id, int word,
+                                        const std::vector<std::uint64_t>& values) const {
+  const netlist::CellInst& cell = nl_.cell(cell_id);
+  const int w = options_.pattern_words;
+  auto in = [&](int i) -> std::uint64_t {
+    return values[static_cast<std::size_t>(nl_.input_pin(cell_id, i)) * w +
+                  static_cast<std::size_t>(word)];
+  };
+  switch (cell.kind) {
+    case CellKind::kBuf:
+    case CellKind::kLevelShifter:
+      return in(0);
+    case CellKind::kInv:
+      return ~in(0);
+    case CellKind::kAnd2:
+      return in(0) & in(1);
+    case CellKind::kOr2:
+      return in(0) | in(1);
+    case CellKind::kNand2:
+      return ~(in(0) & in(1));
+    case CellKind::kNor2:
+      return ~(in(0) | in(1));
+    case CellKind::kXor2:
+      return in(0) ^ in(1);
+    case CellKind::kMux2:
+      return (in(0) & ~in(2)) | (in(1) & in(2));
+    default:
+      return 0;  // sequential/macro outputs are sources, never evaluated
+  }
+}
+
+void FaultSimulator::simulate_good() {
+  const int w = options_.pattern_words;
+  for (const Id p : topo_pins_) {
+    const netlist::Pin& pin = nl_.pin(p);
+    const std::size_t base = static_cast<std::size_t>(p) * w;
+    if (pin.dir == PinDir::kOut) {
+      if (is_source_[p]) {
+        for (int i = 0; i < w; ++i) good_[base + i] = rng_.next_u64();
+      } else {
+        for (int i = 0; i < w; ++i) good_[base + i] = eval_cell(pin.cell, i, good_);
+      }
+      continue;
+    }
+    // Input pin: copy from driver unless the net is open (pre-bond cut).
+    if (pin.net == kNullId || open_net_[pin.net]) {
+      for (int i = 0; i < w; ++i) good_[base + i] = 0;
+      continue;
+    }
+    const Id drv = nl_.net(pin.net).driver;
+    const std::size_t dbase = static_cast<std::size_t>(drv) * w;
+    for (int i = 0; i < w; ++i) good_[base + i] = good_[dbase + i];
+  }
+}
+
+bool FaultSimulator::simulate_fault(Id fault_pin, bool stuck1) {
+  const int w = options_.pattern_words;
+  // Seed the faulty value at the fault site.
+  const std::size_t fbase = static_cast<std::size_t>(fault_pin) * w;
+  bool differs = false;
+  for (int i = 0; i < w; ++i) {
+    const std::uint64_t v = stuck1 ? ~0ULL : 0ULL;
+    faulty_[fbase + i] = v;
+    if (v != good_[fbase + i]) differs = true;
+  }
+  if (!differs) return false;  // fault effect never excited (constant line)
+  dirty_[fault_pin] = 1;
+  dirty_list_.push_back(fault_pin);
+
+  // Event-driven propagation in topological order using an index-sorted
+  // frontier. Collect events in a local worklist sorted by topo index.
+  std::vector<Id> frontier{fault_pin};
+  auto topo_less = [&](Id a, Id b) { return topo_index_[a] > topo_index_[b]; };
+  std::make_heap(frontier.begin(), frontier.end(), topo_less);
+  bool detected = false;
+
+  auto value_of = [&](Id p, int i) -> std::uint64_t {
+    return dirty_[p] ? faulty_[static_cast<std::size_t>(p) * w + i]
+                     : good_[static_cast<std::size_t>(p) * w + i];
+  };
+  auto push = [&](Id p) {
+    frontier.push_back(p);
+    std::push_heap(frontier.begin(), frontier.end(), topo_less);
+  };
+
+  while (!frontier.empty() && !detected) {
+    std::pop_heap(frontier.begin(), frontier.end(), topo_less);
+    const Id p = frontier.back();
+    frontier.pop_back();
+    if (!dirty_[p]) continue;  // superseded
+    if (observable_[p]) {
+      for (int i = 0; i < w; ++i) {
+        if (faulty_[static_cast<std::size_t>(p) * w + i] !=
+            good_[static_cast<std::size_t>(p) * w + i]) {
+          detected = true;
+          break;
+        }
+      }
+      if (detected) break;
+    }
+    const netlist::Pin& pin = nl_.pin(p);
+    if (pin.dir == PinDir::kOut) {
+      // Propagate across the net (unless open).
+      if (pin.net == kNullId || open_net_[pin.net]) continue;
+      for (Id s : nl_.net(pin.net).sinks) {
+        bool changed = false;
+        for (int i = 0; i < w; ++i) {
+          const std::uint64_t nv = value_of(p, i);
+          if (nv != good_[static_cast<std::size_t>(s) * w + i]) changed = true;
+          faulty_[static_cast<std::size_t>(s) * w + i] = nv;
+        }
+        if (changed && !dirty_[s]) {
+          dirty_[s] = 1;
+          dirty_list_.push_back(s);
+          push(s);
+        } else if (changed) {
+          push(s);
+        }
+      }
+      continue;
+    }
+    // Input pin changed: re-evaluate the cell's outputs.
+    const netlist::CellInst& cell = nl_.cell(pin.cell);
+    if (!tech::is_combinational(cell.kind)) continue;
+    // Build a temporary value view: inputs may be mixed dirty/clean.
+    for (int o = 0; o < cell.num_out; ++o) {
+      const Id q = nl_.output_pin(pin.cell, o);
+      if (is_source_[q]) continue;
+      bool changed = false;
+      for (int i = 0; i < w; ++i) {
+        // Evaluate with faulty view.
+        const auto eval_with = [&]() -> std::uint64_t {
+          auto in = [&](int k) { return value_of(nl_.input_pin(pin.cell, k), i); };
+          switch (cell.kind) {
+            case CellKind::kBuf:
+            case CellKind::kLevelShifter: return in(0);
+            case CellKind::kInv: return ~in(0);
+            case CellKind::kAnd2: return in(0) & in(1);
+            case CellKind::kOr2: return in(0) | in(1);
+            case CellKind::kNand2: return ~(in(0) & in(1));
+            case CellKind::kNor2: return ~(in(0) | in(1));
+            case CellKind::kXor2: return in(0) ^ in(1);
+            case CellKind::kMux2: return (in(0) & ~in(2)) | (in(1) & in(2));
+            default: return 0;
+          }
+        };
+        const std::uint64_t nv = eval_with();
+        if (nv != good_[static_cast<std::size_t>(q) * w + i]) changed = true;
+        faulty_[static_cast<std::size_t>(q) * w + i] = nv;
+      }
+      if (changed) {
+        if (!dirty_[q]) {
+          dirty_[q] = 1;
+          dirty_list_.push_back(q);
+        }
+        push(q);
+      } else if (dirty_[q]) {
+        // Effect masked at this gate.
+        dirty_[q] = 0;
+      }
+    }
+  }
+
+  // Reset scratch state.
+  for (Id p : dirty_list_) dirty_[p] = 0;
+  dirty_list_.clear();
+  return detected;
+}
+
+FaultSimResult FaultSimulator::run() {
+  simulate_good();
+  FaultSimResult result;
+
+  // Explicitly untestable faults (e.g. floating F2F pad side).
+  std::vector<std::uint8_t> forced_undet_s0(nl_.num_pins(), 0), forced_undet_s1(nl_.num_pins(), 0);
+  for (const auto& [pin, stuck1] : model_.untestable_pin_faults)
+    (stuck1 ? forced_undet_s1 : forced_undet_s0)[pin] = 1;
+
+  for (Id c = 0; c < nl_.num_cells(); ++c) {
+    const netlist::CellInst& cell = nl_.cell(c);
+    if (cell.kind == CellKind::kInput || cell.kind == CellKind::kOutput) continue;
+    if (cell.kind == CellKind::kSramMacro && !options_.include_sram_pins) continue;
+    // Skip orphaned cells (disconnected after scan replacement).
+    bool connected = false;
+    for (int i = 0; i < cell.num_in && !connected; ++i)
+      connected = nl_.pin(nl_.input_pin(c, i)).net != kNullId;
+    for (int o = 0; o < cell.num_out && !connected; ++o)
+      connected = nl_.pin(nl_.output_pin(c, o)).net != kNullId;
+    if (!connected) continue;
+
+    const Id first = cell.first_pin;
+    const Id last = first + cell.num_in + cell.num_out;
+    for (Id p = first; p < last; ++p) {
+      if (nl_.pin(p).net == kNullId) continue;  // unconnected pin: no fault site
+      // Scan-path pins (SI/SE) are exercised by the chain flush test, not
+      // functional capture; standard ATPG accounting credits them there.
+      if (cell.kind == CellKind::kScanDff && nl_.pin(p).dir == PinDir::kIn &&
+          nl_.pin(p).index >= 1)
+        continue;
+      for (const bool stuck1 : {false, true}) {
+        ++result.total_faults;
+        if ((stuck1 ? forced_undet_s1 : forced_undet_s0)[p]) continue;
+        if (simulate_fault(p, stuck1)) ++result.detected;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gnnmls::dft

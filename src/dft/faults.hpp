@@ -1,0 +1,88 @@
+// Stuck-at fault model and fault simulation.
+//
+// Used for the paper's testability results (Tables III and VI): total fault
+// counts, detected faults, and coverage under the two MLS DFT styles.
+//
+// Test model (standard full-scan ATPG abstraction):
+//   * primary inputs and sequential/SRAM outputs are pseudo-primary inputs,
+//     driven with random parallel patterns (64 patterns per machine word);
+//   * primary outputs, sequential D pins and SRAM inputs are observation
+//     points (scan capture);
+//   * scan-only pins (SI/SE) are controllable but not functional;
+//   * nets listed as "open" (MLS connections during pre-bond per-die test,
+//     paper Figure 3) do not transmit: their sinks see a constant unknown,
+//     and anything only observable through them goes undetected.
+//
+// Simulation is event-driven single-fault propagation over parallel
+// pattern words: the good machine is simulated once; each fault re-evaluates
+// only its output cone until the effect dies out or reaches an observation
+// point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace gnnmls::dft {
+
+// Extra test-mode structure the MLS DFT insertion provides.
+struct TestModel {
+  std::vector<netlist::Id> observe_pins;    // additionally observable pins
+  std::vector<netlist::Id> open_nets;       // nets cut in per-die test
+  // Faults forced undetectable regardless of simulation (e.g. the floating
+  // F2F-pad side of a net-based DFT mux).
+  std::vector<std::pair<netlist::Id, bool>> untestable_pin_faults;  // (pin, stuck1)
+};
+
+struct FaultSimOptions {
+  int pattern_words = 4;  // 4 x 64 = 256 random patterns
+  std::uint64_t seed = 99;
+  bool include_sram_pins = false;  // SRAM macros are BIST territory
+};
+
+struct FaultSimResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  double coverage() const {
+    return total_faults ? static_cast<double>(detected) / static_cast<double>(total_faults) : 0.0;
+  }
+};
+
+class FaultSimulator {
+ public:
+  FaultSimulator(const netlist::Netlist& nl, const TestModel& model,
+                 const FaultSimOptions& options = {});
+
+  // Enumerates the stuck-at fault list and simulates every fault.
+  FaultSimResult run();
+
+  // Good-machine value of a pin (valid after run()); exposed for tests.
+  std::uint64_t good_value(netlist::Id pin, int word) const;
+
+ private:
+  void simulate_good();
+  std::uint64_t eval_cell(netlist::Id cell, int word,
+                          const std::vector<std::uint64_t>& values) const;
+  bool simulate_fault(netlist::Id pin, bool stuck1);
+
+  const netlist::Netlist& nl_;
+  TestModel model_;
+  FaultSimOptions options_;
+  util::Rng rng_;
+
+  std::vector<std::uint64_t> good_;        // [pin * words + w]
+  std::vector<std::uint8_t> observable_;   // pin -> is observation point
+  std::vector<std::uint8_t> open_net_;     // net -> cut in per-die test
+  std::vector<std::uint8_t> is_source_;    // pin -> pseudo-PI
+  std::vector<netlist::Id> topo_pins_;     // combinational eval order
+  std::vector<std::uint32_t> topo_index_;  // pin -> position in topo order
+
+  // Scratch for event-driven fault propagation.
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<netlist::Id> dirty_list_;
+};
+
+}  // namespace gnnmls::dft

@@ -1,0 +1,42 @@
+#include "dft/scan.hpp"
+
+namespace gnnmls::dft {
+
+using netlist::Id;
+using netlist::kNullId;
+using tech::CellKind;
+
+ScanReport insert_full_scan(netlist::Netlist& nl) {
+  ScanReport report;
+  const std::size_t original_cells = nl.num_cells();
+  for (Id c = 0; c < original_cells; ++c) {
+    if (nl.cell(c).kind != CellKind::kDff) continue;
+    const netlist::CellInst snapshot = nl.cell(c);
+    const Id sdff = nl.add_cell(CellKind::kScanDff, snapshot.tier, snapshot.x_um, snapshot.y_um);
+
+    // Move the functional D connection.
+    const Id old_d = nl.input_pin(c, 0);
+    const Id d_net = nl.pin(old_d).net;
+    if (d_net != kNullId) {
+      nl.detach_sink(d_net, old_d);
+      nl.add_sink(d_net, nl.input_pin(sdff, 0));
+    }
+    // Move the Q net onto the scan flop.
+    const Id old_q = nl.output_pin(c, 0);
+    const Id q_net = nl.pin(old_q).net;
+    if (q_net != kNullId) {
+      nl.detach_driver(q_net);
+      nl.set_driver(q_net, nl.output_pin(sdff, 0));
+    }
+    // SI/SE tie-offs: local test-port cells at the flop (the shift network
+    // itself is abstracted; see header).
+    for (int scan_pin = 1; scan_pin <= 2; ++scan_pin) {
+      const Id tie = nl.add_cell(CellKind::kInput, snapshot.tier, snapshot.x_um, snapshot.y_um);
+      nl.connect(tie, 0, sdff, scan_pin);
+    }
+    ++report.flops_replaced;
+  }
+  return report;
+}
+
+}  // namespace gnnmls::dft

@@ -1,0 +1,28 @@
+// Full-scan insertion.
+//
+// Replaces every functional DFF with a scan flip-flop and ties the scan
+// pins (SI/SE) to a test port. The scan *shift* network itself is abstracted
+// (chains are false paths and BIST-style stitching details don't affect the
+// paper's metrics); what matters downstream is:
+//   * fault simulation treats every scan flop's D as observable and Q as
+//     controllable (FaultSimulator already does);
+//   * area/leakage/setup overhead of the scan cells shows up in the flow's
+//     power and timing numbers, as in Table VI.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace gnnmls::dft {
+
+struct ScanReport {
+  std::size_t flops_replaced = 0;
+  netlist::Id test_se_cell = netlist::kNullId;  // test-enable port
+};
+
+// In-place full-scan replacement. Original DFF cells are left orphaned
+// (every pin disconnected); downstream passes skip orphans.
+ScanReport insert_full_scan(netlist::Netlist& nl);
+
+}  // namespace gnnmls::dft

@@ -1,0 +1,74 @@
+#include "floorplan/tier.hpp"
+
+namespace gnnmls::floorplan {
+
+using netlist::Id;
+using netlist::kNullId;
+using netlist::Netlist;
+
+CrossingStats count_crossings(const Netlist& nl) {
+  CrossingStats s;
+  for (Id n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == kNullId) continue;
+    const std::uint8_t drv_tier = nl.cell(nl.pin(net.driver).cell).tier;
+    bool any_cross = false;
+    bool cross_up = false;
+    bool cross_down = false;
+    for (Id sp : net.sinks) {
+      const std::uint8_t sink_tier = nl.cell(nl.pin(sp).cell).tier;
+      if (sink_tier == drv_tier) continue;
+      any_cross = true;
+      if (drv_tier == 0) cross_up = true;
+      else cross_down = true;
+    }
+    if (!any_cross) continue;
+    ++s.nets_3d;
+    // One F2F pad pair per crossing direction per net: sinks on the other
+    // tier share the landing point.
+    if (cross_up) {
+      ++s.crossings;
+      ++s.up;
+    }
+    if (cross_down) {
+      ++s.crossings;
+      ++s.down;
+    }
+  }
+  return s;
+}
+
+LevelShifterReport insert_level_shifters(Netlist& nl) {
+  LevelShifterReport report;
+  const std::size_t original_nets = nl.num_nets();
+  for (Id n = 0; n < original_nets; ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == kNullId) continue;
+    const netlist::Pin& drv_pin = nl.pin(net.driver);
+    const netlist::CellInst& drv_cell = nl.cell(drv_pin.cell);
+    const std::uint8_t drv_tier = drv_cell.tier;
+
+    // Collect cross-tier sinks first; detaching mutates the sink list.
+    std::vector<Id> cross_sinks;
+    for (Id sp : net.sinks)
+      if (nl.cell(nl.pin(sp).cell).tier != drv_tier) cross_sinks.push_back(sp);
+    if (cross_sinks.empty()) continue;
+
+    // LS sits on the destination tier at the F2F landing point (driver x/y).
+    const std::uint8_t dst_tier = drv_tier == 0 ? std::uint8_t{1} : std::uint8_t{0};
+    const Id ls = nl.add_cell(tech::CellKind::kLevelShifter, dst_tier, drv_cell.x_um,
+                              drv_cell.y_um);
+    for (Id sp : cross_sinks) nl.detach_sink(n, sp);
+    // Original net now feeds the LS input (this keeps it a 3D net: the
+    // driver-to-LS hop is the F2F crossing).
+    nl.add_sink(n, nl.input_pin(ls, 0));
+    const Id new_net = nl.add_net();
+    nl.set_driver(new_net, nl.output_pin(ls, 0));
+    for (Id sp : cross_sinks) nl.add_sink(new_net, sp);
+    report.ls_cells.push_back(ls);
+    ++report.inserted;
+  }
+  return report;
+}
+
+}  // namespace gnnmls::floorplan

@@ -1,0 +1,41 @@
+// Tier management for the two-die stack.
+//
+// Generators already assign memory macros to the top die and logic to the
+// bottom die (memory-on-logic, the Macro-3D partitioning the paper builds
+// on). This module provides the remaining 3D-specific structural edits and
+// queries:
+//   * level-shifter insertion on every 3D signal crossing in heterogeneous
+//     stacks (paper Section III-E: 0.9 V memory domain above a 0.81 V logic
+//     domain needs an LS per crossing);
+//   * tier-crossing census used by the F2F via budget and the PDN.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "tech/tech.hpp"
+
+namespace gnnmls::floorplan {
+
+struct CrossingStats {
+  std::size_t nets_3d = 0;          // nets whose pins span both tiers
+  std::size_t crossings = 0;        // driver->sink tier changes (F2F pad pairs)
+  std::size_t up = 0;               // bottom -> top
+  std::size_t down = 0;             // top -> bottom
+};
+
+CrossingStats count_crossings(const netlist::Netlist& nl);
+
+struct LevelShifterReport {
+  std::size_t inserted = 0;             // LS cells added
+  std::vector<netlist::Id> ls_cells;    // the added cells
+};
+
+// For every 3D net, splices one level shifter per crossing direction: the
+// cross-tier sinks are detached and re-driven by an LS placed on the sink
+// tier at the driver's (x, y) — the F2F landing point. Only meaningful for
+// heterogeneous stacks; homogeneous flows skip it (single voltage).
+LevelShifterReport insert_level_shifters(netlist::Netlist& nl);
+
+}  // namespace gnnmls::floorplan

@@ -1,0 +1,61 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gnnmls::ml {
+
+void FeatureScaler::fit(std::span<const PathGraph> graphs) {
+  if (graphs.empty()) throw std::invalid_argument("cannot fit scaler on empty corpus");
+  const int f = graphs.front().x.cols();
+  mean_.assign(static_cast<std::size_t>(f), 0.0);
+  stddev_.assign(static_cast<std::size_t>(f), 0.0);
+  std::size_t n = 0;
+  for (const PathGraph& g : graphs) {
+    for (int i = 0; i < g.x.rows(); ++i)
+      for (int j = 0; j < f; ++j) mean_[static_cast<std::size_t>(j)] += g.x.at(i, j);
+    n += static_cast<std::size_t>(g.x.rows());
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (const PathGraph& g : graphs) {
+    for (int i = 0; i < g.x.rows(); ++i)
+      for (int j = 0; j < f; ++j) {
+        const double d = g.x.at(i, j) - mean_[static_cast<std::size_t>(j)];
+        stddev_[static_cast<std::size_t>(j)] += d * d;
+      }
+  }
+  for (double& s : stddev_) s = std::sqrt(s / static_cast<double>(std::max<std::size_t>(n - 1, 1)));
+}
+
+void FeatureScaler::apply(PathGraph& g) const {
+  const int f = static_cast<int>(mean_.size());
+  if (g.x.cols() != f) throw std::invalid_argument("scaler/feature width mismatch");
+  for (int i = 0; i < g.x.rows(); ++i)
+    for (int j = 0; j < f; ++j) {
+      const double s = stddev_[static_cast<std::size_t>(j)];
+      g.x.at(i, j) = (g.x.at(i, j) - mean_[static_cast<std::size_t>(j)]) / (s > 1e-12 ? s : 1.0);
+    }
+}
+
+Mat chain_adjacency(int n) {
+  Mat adj(n, n);
+  for (int i = 0; i + 1 < n; ++i) {
+    adj.at(i, i + 1) = 1.0;
+    adj.at(i + 1, i) = 1.0;
+  }
+  return adj;
+}
+
+void train_val_split(std::size_t n, double val_fraction, util::Rng& rng,
+                     std::vector<std::size_t>& train, std::vector<std::size_t>& val) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  rng.shuffle(idx);
+  const std::size_t n_val = static_cast<std::size_t>(val_fraction * static_cast<double>(n));
+  val.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_val));
+  train.assign(idx.begin() + static_cast<std::ptrdiff_t>(n_val), idx.end());
+}
+
+}  // namespace gnnmls::ml

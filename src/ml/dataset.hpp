@@ -1,0 +1,51 @@
+// Dataset types for path-level learning.
+//
+// A PathGraph is one timing path converted to the node-centric form of the
+// paper's Figure 5: each node is a path stage (driving cell + its net, the
+// hyperedge folded onto its source), carrying the Table II features. The
+// chain adjacency is kept explicitly for the graph-transformer bias.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace gnnmls::ml {
+
+inline constexpr int kLabelUnknown = -1;
+
+struct PathGraph {
+  Mat x;                           // n x F feature matrix (normalized)
+  Mat adj;                         // n x n, 1.0 on path edges (both directions)
+  std::vector<int> labels;         // per node: 1 = MLS helps, 0 = hurts/neutral,
+                                   // kLabelUnknown = unlabeled (DGI-only)
+  std::vector<std::uint32_t> net_ids;  // per node: net in the source design
+  int design_tag = 0;              // which benchmark/config the path came from
+  double slack_ps = 0.0;           // path slack at extraction time
+};
+
+// Per-feature z-score normalization fitted on a corpus and applied to
+// individual graphs (train and inference must share one).
+class FeatureScaler {
+ public:
+  void fit(std::span<const PathGraph> graphs);
+  void apply(PathGraph& g) const;
+  int features() const { return static_cast<int>(mean_.size()); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+// Builds the chain adjacency (i <-> i+1) for a path of n stages.
+Mat chain_adjacency(int n);
+
+// Deterministic index split.
+void train_val_split(std::size_t n, double val_fraction, util::Rng& rng,
+                     std::vector<std::size_t>& train, std::vector<std::size_t>& val);
+
+}  // namespace gnnmls::ml

@@ -1,0 +1,46 @@
+// Deep Graph Infomax pretraining (paper Section III-C, Equation 3).
+//
+// STA-derived MLS labels are expensive, so the encoder is first pretrained
+// self-supervised: maximize mutual information between each node embedding
+// v and the global path summary g(Y) = sigmoid(mean of embeddings), using a
+// bilinear discriminator and negative samples from a corrupted graph C(Y)
+// (node-feature rows shuffled — the standard DGI corruption, which keeps
+// the topology but breaks the feature-structure correspondence).
+#pragma once
+
+#include <span>
+
+#include "ml/dataset.hpp"
+#include "ml/transformer.hpp"
+
+namespace gnnmls::ml {
+
+struct DgiConfig {
+  int epochs = 20;
+  double lr = 1e-3;
+};
+
+class DgiTrainer {
+ public:
+  DgiTrainer(GraphTransformer& encoder, util::Rng& rng);
+
+  // One pass over the corpus; returns the mean DGI loss.
+  double train_epoch(std::span<const PathGraph> graphs, Adam& optimizer, util::Rng& rng);
+
+  // Full pretraining loop with its own Adam over encoder + discriminator.
+  // Returns the loss trajectory (one value per epoch).
+  std::vector<double> pretrain(std::span<const PathGraph> graphs, const DgiConfig& config,
+                               util::Rng& rng);
+
+  // Discriminator probability that node embeddings belong to summary s
+  // (exposed for tests: positives should score above corrupted negatives).
+  double discriminate(const Mat& h_row, const Mat& summary) const;
+
+  Param& discriminator() { return w_; }
+
+ private:
+  GraphTransformer& encoder_;
+  Param w_;  // dim x dim bilinear form
+};
+
+}  // namespace gnnmls::ml

@@ -1,0 +1,239 @@
+#include "ml/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnnmls::ml {
+
+// ---- Linear ----------------------------------------------------------------
+Linear::Linear(int in, int out, util::Rng& rng)
+    : w_(Mat::xavier(in, out, rng)), b_(Mat(1, out)) {}
+
+Mat Linear::forward(const Mat& x) {
+  x_ = x;
+  Mat y = matmul(x, w_.value);
+  add_row_bias(y, b_.value);
+  return y;
+}
+
+Mat Linear::backward(const Mat& dy) {
+  w_.grad.axpy(1.0, matmul_tn(x_, dy));
+  for (int i = 0; i < dy.rows(); ++i)
+    for (int j = 0; j < dy.cols(); ++j) b_.grad.at(0, j) += dy.at(i, j);
+  return matmul_nt(dy, w_.value);
+}
+
+// ---- ReLU ------------------------------------------------------------------
+Mat ReLU::forward(const Mat& x) {
+  x_ = x;
+  Mat y = x;
+  for (double& v : y.data())
+    if (v < 0.0) v = 0.0;
+  return y;
+}
+
+Mat ReLU::backward(const Mat& dy) {
+  Mat dx = dy;
+  for (std::size_t i = 0; i < dx.data().size(); ++i)
+    if (x_.data()[i] <= 0.0) dx.data()[i] = 0.0;
+  return dx;
+}
+
+// ---- LayerNorm ---------------------------------------------------------------
+LayerNorm::LayerNorm(int dim) : gamma_(Mat(1, dim)), beta_(Mat(1, dim)) {
+  gamma_.value.fill(1.0);
+}
+
+Mat LayerNorm::forward(const Mat& x) {
+  const int n = x.rows(), d = x.cols();
+  xhat_ = Mat(n, d);
+  inv_std_.assign(static_cast<std::size_t>(n), 0.0);
+  Mat y(n, d);
+  for (int i = 0; i < n; ++i) {
+    const double* row = x.row(i);
+    double mean = 0.0;
+    for (int j = 0; j < d; ++j) mean += row[j];
+    mean /= d;
+    double var = 0.0;
+    for (int j = 0; j < d; ++j) var += (row[j] - mean) * (row[j] - mean);
+    var /= d;
+    const double inv = 1.0 / std::sqrt(var + kEps);
+    inv_std_[static_cast<std::size_t>(i)] = inv;
+    for (int j = 0; j < d; ++j) {
+      const double xh = (row[j] - mean) * inv;
+      xhat_.at(i, j) = xh;
+      y.at(i, j) = xh * gamma_.value.at(0, j) + beta_.value.at(0, j);
+    }
+  }
+  return y;
+}
+
+Mat LayerNorm::backward(const Mat& dy) {
+  const int n = dy.rows(), d = dy.cols();
+  Mat dx(n, d);
+  for (int i = 0; i < n; ++i) {
+    // Accumulate parameter grads and the two reduction terms.
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double g = dy.at(i, j);
+      gamma_.grad.at(0, j) += g * xhat_.at(i, j);
+      beta_.grad.at(0, j) += g;
+      const double dxhat = g * gamma_.value.at(0, j);
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat_.at(i, j);
+    }
+    const double inv = inv_std_[static_cast<std::size_t>(i)];
+    for (int j = 0; j < d; ++j) {
+      const double dxhat = dy.at(i, j) * gamma_.value.at(0, j);
+      dx.at(i, j) =
+          inv * (dxhat - sum_dxhat / d - xhat_.at(i, j) * sum_dxhat_xhat / d);
+    }
+  }
+  return dx;
+}
+
+// ---- MultiHeadAttention ------------------------------------------------------
+MultiHeadAttention::MultiHeadAttention(int dim, int heads, util::Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      wq_(Mat::xavier(dim, dim, rng)),
+      wk_(Mat::xavier(dim, dim, rng)),
+      wv_(Mat::xavier(dim, dim, rng)),
+      wo_(Mat::xavier(dim, dim, rng)),
+      edge_bias_(Mat(1, heads)) {
+  if (dim % heads != 0) throw std::invalid_argument("dim must be divisible by heads");
+  edge_bias_.value.fill(0.5);  // start with a mild preference for graph edges
+}
+
+namespace {
+// Extracts head h columns [h*hd, (h+1)*hd) of a packed n x dim matrix.
+Mat head_slice(const Mat& packed, int h, int hd) {
+  Mat out(packed.rows(), hd);
+  for (int i = 0; i < packed.rows(); ++i)
+    for (int j = 0; j < hd; ++j) out.at(i, j) = packed.at(i, h * hd + j);
+  return out;
+}
+void head_place(Mat& packed, const Mat& slice, int h, int hd) {
+  for (int i = 0; i < slice.rows(); ++i)
+    for (int j = 0; j < hd; ++j) packed.at(i, h * hd + j) += slice.at(i, j);
+}
+}  // namespace
+
+Mat MultiHeadAttention::forward(const Mat& x, const Mat& adj) {
+  x_ = x;
+  adj_ = adj;
+  q_ = matmul(x, wq_.value);
+  k_ = matmul(x, wk_.value);
+  v_ = matmul(x, wv_.value);
+  const int n = x.rows();
+  attn_.assign(static_cast<std::size_t>(heads_), Mat());
+  concat_ = Mat(n, dim_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+  for (int h = 0; h < heads_; ++h) {
+    Mat qh = head_slice(q_, h, head_dim_);
+    Mat kh = head_slice(k_, h, head_dim_);
+    Mat vh = head_slice(v_, h, head_dim_);
+    Mat scores = matmul_nt(qh, kh);
+    for (double& s : scores.data()) s *= scale;
+    if (!adj_.empty()) {
+      const double bias = edge_bias_.value.at(0, h);
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) scores.at(i, j) += bias * adj_.at(i, j);
+    }
+    attn_[static_cast<std::size_t>(h)] = softmax_rows(scores);
+    Mat oh = matmul(attn_[static_cast<std::size_t>(h)], vh);
+    head_place(concat_, oh, h, head_dim_);
+  }
+  return matmul(concat_, wo_.value);
+}
+
+Mat MultiHeadAttention::backward(const Mat& dy) {
+  const int n = dy.rows();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+  // Through Wo.
+  wo_.grad.axpy(1.0, matmul_tn(concat_, dy));
+  Mat dconcat = matmul_nt(dy, wo_.value);
+
+  Mat dq(n, dim_), dk(n, dim_), dv(n, dim_);
+  for (int h = 0; h < heads_; ++h) {
+    const Mat& a = attn_[static_cast<std::size_t>(h)];
+    Mat doh = head_slice(dconcat, h, head_dim_);
+    Mat vh = head_slice(v_, h, head_dim_);
+    Mat qh = head_slice(q_, h, head_dim_);
+    Mat kh = head_slice(k_, h, head_dim_);
+    // O_h = A V_h
+    Mat da = matmul_nt(doh, vh);
+    Mat dvh = matmul_tn(a, doh);
+    // Through softmax.
+    Mat dscores = softmax_rows_backward(a, da);
+    // Adjacency bias gradient.
+    if (!adj_.empty()) {
+      double g = 0.0;
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) g += dscores.at(i, j) * adj_.at(i, j);
+      edge_bias_.grad.at(0, h) += g;
+    }
+    // scores = scale * Q_h K_h^T
+    for (double& s : dscores.data()) s *= scale;
+    Mat dqh = matmul(dscores, kh);
+    Mat dkh = matmul_tn(dscores, qh);
+    head_place(dq, dqh, h, head_dim_);
+    head_place(dk, dkh, h, head_dim_);
+    head_place(dv, dvh, h, head_dim_);
+  }
+  wq_.grad.axpy(1.0, matmul_tn(x_, dq));
+  wk_.grad.axpy(1.0, matmul_tn(x_, dk));
+  wv_.grad.axpy(1.0, matmul_tn(x_, dv));
+  Mat dx = matmul_nt(dq, wq_.value);
+  dx.axpy(1.0, matmul_nt(dk, wk_.value));
+  dx.axpy(1.0, matmul_nt(dv, wv_.value));
+  return dx;
+}
+
+// ---- FeedForward --------------------------------------------------------------
+FeedForward::FeedForward(int dim, int hidden, util::Rng& rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng) {}
+
+Mat FeedForward::forward(const Mat& x) { return fc2_.forward(relu_.forward(fc1_.forward(x))); }
+
+Mat FeedForward::backward(const Mat& dy) {
+  return fc1_.backward(relu_.backward(fc2_.backward(dy)));
+}
+
+std::vector<Param*> FeedForward::params() {
+  std::vector<Param*> ps = fc1_.params();
+  for (Param* p : fc2_.params()) ps.push_back(p);
+  return ps;
+}
+
+// ---- Adam ----------------------------------------------------------------------
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2, double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    const auto& g = p->grad.data();
+    auto& w = p->value.data();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace gnnmls::ml

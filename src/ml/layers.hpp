@@ -1,0 +1,132 @@
+// Neural-network layers with hand-written backward passes.
+//
+// Every layer caches what its backward pass needs during forward, takes
+// dL/d(output) and returns dL/d(input) while accumulating parameter
+// gradients (so minibatching = several forward/backward calls per step).
+// Layers are sized for sequence inputs X of shape [path_len x features].
+#pragma once
+
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace gnnmls::ml {
+
+// A trainable tensor with its gradient accumulator.
+struct Param {
+  Mat value;
+  Mat grad;
+
+  explicit Param(Mat v) : value(std::move(v)), grad(value.rows(), value.cols()) {}
+  void zero_grad() { grad.zero(); }
+};
+
+// Common layer interface for parameter collection.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual std::vector<Param*> params() = 0;
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+};
+
+// Y = X W + b
+class Linear : public Layer {
+ public:
+  Linear(int in, int out, util::Rng& rng);
+  Mat forward(const Mat& x);
+  Mat backward(const Mat& dy);
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+
+ private:
+  Param w_;
+  Param b_;
+  Mat x_;  // cached input
+};
+
+// Elementwise max(0, x).
+class ReLU : public Layer {
+ public:
+  Mat forward(const Mat& x);
+  Mat backward(const Mat& dy);
+  std::vector<Param*> params() override { return {}; }
+
+ private:
+  Mat x_;
+};
+
+// Per-row layer normalization with learned gain/bias.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int dim);
+  Mat forward(const Mat& x);
+  Mat backward(const Mat& dy);
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+ private:
+  Param gamma_;
+  Param beta_;
+  Mat xhat_;
+  std::vector<double> inv_std_;
+  static constexpr double kEps = 1e-5;
+};
+
+// Multi-head self-attention with an optional additive adjacency bias: for a
+// timing-path graph the bias term (one learned scalar per head) is added to
+// attention logits of edges present in the DAG, letting the model blend
+// global attention with graph structure (the "graph transformer" of the
+// paper's Figure 5).
+class MultiHeadAttention : public Layer {
+ public:
+  MultiHeadAttention(int dim, int heads, util::Rng& rng);
+
+  // adj: n x n, 1.0 where an edge exists (may be empty -> pure attention).
+  Mat forward(const Mat& x, const Mat& adj);
+  Mat backward(const Mat& dy);
+  std::vector<Param*> params() override {
+    return {&wq_, &wk_, &wv_, &wo_, &edge_bias_};
+  }
+
+ private:
+  int dim_, heads_, head_dim_;
+  Param wq_, wk_, wv_, wo_;
+  Param edge_bias_;  // 1 x heads, scales the adjacency bias per head
+  // Forward caches.
+  Mat x_, adj_;
+  Mat q_, k_, v_;          // n x dim (all heads packed)
+  std::vector<Mat> attn_;  // per head: n x n softmax matrices
+  Mat concat_;             // n x dim, pre-Wo
+};
+
+// Two-layer position-wise feed-forward: Linear -> ReLU -> Linear.
+class FeedForward : public Layer {
+ public:
+  FeedForward(int dim, int hidden, util::Rng& rng);
+  Mat forward(const Mat& x);
+  Mat backward(const Mat& dy);
+  std::vector<Param*> params() override;
+
+ private:
+  Linear fc1_;
+  ReLU relu_;
+  Linear fc2_;
+};
+
+// Adam optimizer over a flat parameter list.
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, double lr = 1e-3, double beta1 = 0.9,
+                double beta2 = 0.999, double eps = 1e-8);
+  void step();
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Mat> m_, v_;
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+};
+
+}  // namespace gnnmls::ml

@@ -1,0 +1,119 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+
+namespace gnnmls::ml {
+
+MlpHead::MlpHead(int dim, int hidden, util::Rng& rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, 1, rng) {}
+
+std::vector<double> MlpHead::predict(const Mat& h) {
+  logits_ = fc2_.forward(relu_.forward(fc1_.forward(h)));
+  std::vector<double> probs(static_cast<std::size_t>(logits_.rows()));
+  for (int i = 0; i < logits_.rows(); ++i) probs[static_cast<std::size_t>(i)] = sigmoid(logits_.at(i, 0));
+  return probs;
+}
+
+double MlpHead::loss_and_grad(const Mat& h, std::span<const int> labels, double positive_weight,
+                              Mat& dh) {
+  const std::vector<double> probs = predict(h);
+  const int n = h.rows();
+  Mat dlogits(n, 1);
+  double loss = 0.0;
+  int counted = 0;
+  for (int i = 0; i < n; ++i) {
+    const int label = labels[static_cast<std::size_t>(i)];
+    if (label == kLabelUnknown) continue;
+    const double p = probs[static_cast<std::size_t>(i)];
+    const double w = label == 1 ? positive_weight : 1.0;
+    loss += -w * (label == 1 ? std::log(std::max(p, 1e-12))
+                             : std::log(std::max(1.0 - p, 1e-12)));
+    dlogits.at(i, 0) = w * (p - static_cast<double>(label));
+    ++counted;
+  }
+  if (counted == 0) {
+    dh = Mat(n, h.cols());
+    return 0.0;
+  }
+  loss /= counted;
+  for (int i = 0; i < n; ++i) dlogits.at(i, 0) /= counted;
+  dh = fc1_.backward(relu_.backward(fc2_.backward(dlogits)));
+  return loss;
+}
+
+std::vector<Param*> MlpHead::params() {
+  std::vector<Param*> ps = fc1_.params();
+  for (Param* p : fc2_.params()) ps.push_back(p);
+  return ps;
+}
+
+std::vector<double> fine_tune(GraphTransformer& encoder, MlpHead& head,
+                              std::span<const PathGraph> graphs, const FineTuneConfig& config,
+                              util::Rng& rng) {
+  (void)rng;
+  std::vector<Param*> ps = head.params();
+  if (config.train_encoder)
+    for (Param* p : encoder.params()) ps.push_back(p);
+  Adam opt(ps, config.lr);
+
+  // With a frozen encoder (the paper's Algorithm 1) the embeddings are
+  // computed once and the epochs only touch the tiny MLP — this is what
+  // makes fine-tuning effectively free next to label generation.
+  std::vector<const PathGraph*> labeled;
+  for (const PathGraph& g : graphs) {
+    for (int label : g.labels) {
+      if (label != kLabelUnknown) {
+        labeled.push_back(&g);
+        break;
+      }
+    }
+  }
+  std::vector<Mat> cached;
+  if (!config.train_encoder) {
+    cached.reserve(labeled.size());
+    for (const PathGraph* g : labeled) cached.push_back(encoder.forward(g->x, g->adj));
+  }
+
+  std::vector<double> trajectory;
+  trajectory.reserve(static_cast<std::size_t>(config.epochs));
+  for (int e = 0; e < config.epochs; ++e) {
+    double epoch_loss = 0.0;
+    for (std::size_t i = 0; i < labeled.size(); ++i) {
+      const PathGraph& g = *labeled[i];
+      head.zero_grad();
+      if (config.train_encoder) encoder.zero_grad();
+      Mat dh;
+      double loss = 0.0;
+      if (config.train_encoder) {
+        Mat h = encoder.forward(g.x, g.adj);
+        loss = head.loss_and_grad(h, g.labels, config.positive_weight, dh);
+        encoder.backward(dh);
+      } else {
+        loss = head.loss_and_grad(cached[i], g.labels, config.positive_weight, dh);
+      }
+      opt.step();
+      epoch_loss += loss;
+    }
+    trajectory.push_back(labeled.empty() ? 0.0
+                                         : epoch_loss / static_cast<double>(labeled.size()));
+  }
+  return trajectory;
+}
+
+util::BinaryMetrics evaluate(GraphTransformer& encoder, MlpHead& head,
+                             std::span<const PathGraph> graphs, double threshold) {
+  std::vector<double> probs;
+  std::vector<int> labels;
+  for (const PathGraph& g : graphs) {
+    Mat h = encoder.forward(g.x, g.adj);
+    const std::vector<double> p = head.predict(h);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (g.labels[i] == kLabelUnknown) continue;
+      probs.push_back(p[i]);
+      labels.push_back(g.labels[i]);
+    }
+  }
+  return util::binary_metrics(probs, labels, threshold);
+}
+
+}  // namespace gnnmls::ml

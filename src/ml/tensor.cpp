@@ -1,0 +1,160 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gnnmls::ml {
+
+void Mat::zero() { std::fill(d_.begin(), d_.end(), 0.0); }
+void Mat::fill(double v) { std::fill(d_.begin(), d_.end(), v); }
+
+Mat Mat::xavier(int rows, int cols, util::Rng& rng) {
+  Mat m(rows, cols);
+  const double bound = std::sqrt(6.0 / (rows + cols));
+  for (double& v : m.d_) v = rng.uniform(-bound, bound);
+  return m;
+}
+
+void Mat::axpy(double a, const Mat& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("axpy shape mismatch");
+  for (std::size_t i = 0; i < d_.size(); ++i) d_[i] += a * other.d_[i];
+}
+
+double Mat::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : d_) s += v * v;
+  return std::sqrt(s);
+}
+
+Mat matmul(const Mat& a, const Mat& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul shape mismatch");
+  Mat c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double av = arow[k];
+      if (av == 0.0) continue;
+      const double* brow = b.row(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Mat matmul_tn(const Mat& a, const Mat& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn shape mismatch");
+  Mat c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row(k);
+    const double* brow = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Mat matmul_nt(const Mat& a, const Mat& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt shape mismatch");
+  Mat c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row(j);
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+namespace {
+void check_same(const Mat& a, const Mat& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("elementwise shape mismatch");
+}
+}  // namespace
+
+Mat add(const Mat& a, const Mat& b) {
+  check_same(a, b);
+  Mat c = a;
+  c.axpy(1.0, b);
+  return c;
+}
+
+Mat sub(const Mat& a, const Mat& b) {
+  check_same(a, b);
+  Mat c = a;
+  c.axpy(-1.0, b);
+  return c;
+}
+
+Mat hadamard(const Mat& a, const Mat& b) {
+  check_same(a, b);
+  Mat c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.data().size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+Mat transpose(const Mat& a) {
+  Mat t(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+Mat softmax_rows(const Mat& a) {
+  Mat s(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* in = a.row(i);
+    double* out = s.row(i);
+    double mx = in[0];
+    for (int j = 1; j < a.cols(); ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    for (int j = 0; j < a.cols(); ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    for (int j = 0; j < a.cols(); ++j) out[j] /= sum;
+  }
+  return s;
+}
+
+Mat softmax_rows_backward(const Mat& s, const Mat& ds) {
+  check_same(s, ds);
+  Mat dz(s.rows(), s.cols());
+  for (int i = 0; i < s.rows(); ++i) {
+    const double* srow = s.row(i);
+    const double* dsrow = ds.row(i);
+    double dot = 0.0;
+    for (int j = 0; j < s.cols(); ++j) dot += srow[j] * dsrow[j];
+    double* dzrow = dz.row(i);
+    for (int j = 0; j < s.cols(); ++j) dzrow[j] = srow[j] * (dsrow[j] - dot);
+  }
+  return dz;
+}
+
+void add_row_bias(Mat& a, const Mat& bias) {
+  if (bias.rows() != 1 || bias.cols() != a.cols())
+    throw std::invalid_argument("bias shape mismatch");
+  for (int i = 0; i < a.rows(); ++i) {
+    double* row = a.row(i);
+    for (int j = 0; j < a.cols(); ++j) row[j] += bias.at(0, j);
+  }
+}
+
+double sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace gnnmls::ml

@@ -1,0 +1,71 @@
+// Dense row-major matrix used by the learning stack.
+//
+// The GNN-MLS model is small (3 transformer layers, 3 heads, model width
+// ~48) and runs on timing paths of a few dozen nodes, so a straightforward
+// cache-friendly double-precision matrix plus hand-written gradients is both
+// simpler and faster here than an autograd graph — and it keeps the library
+// dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gnnmls::ml {
+
+class Mat {
+ public:
+  Mat() = default;
+  Mat(int rows, int cols) : rows_(rows), cols_(cols), d_(static_cast<std::size_t>(rows) * cols, 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return d_.empty(); }
+
+  double& at(int r, int c) { return d_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const { return d_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double* row(int r) { return d_.data() + static_cast<std::size_t>(r) * cols_; }
+  const double* row(int r) const { return d_.data() + static_cast<std::size_t>(r) * cols_; }
+  std::vector<double>& data() { return d_; }
+  const std::vector<double>& data() const { return d_; }
+
+  void zero();
+  void fill(double v);
+
+  // Xavier/Glorot uniform init, deterministic via rng.
+  static Mat xavier(int rows, int cols, util::Rng& rng);
+
+  // this += a * other (shape must match).
+  void axpy(double a, const Mat& other);
+
+  double frobenius_norm() const;
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> d_;
+};
+
+// C = A * B
+Mat matmul(const Mat& a, const Mat& b);
+// C = A^T * B
+Mat matmul_tn(const Mat& a, const Mat& b);
+// C = A * B^T
+Mat matmul_nt(const Mat& a, const Mat& b);
+
+Mat add(const Mat& a, const Mat& b);
+Mat sub(const Mat& a, const Mat& b);
+Mat hadamard(const Mat& a, const Mat& b);
+Mat transpose(const Mat& a);
+
+// Row-wise softmax (in a new matrix).
+Mat softmax_rows(const Mat& a);
+// Given S = softmax_rows(Z) and dL/dS, returns dL/dZ.
+Mat softmax_rows_backward(const Mat& s, const Mat& ds);
+
+// Adds `bias` (1 x cols) to every row.
+void add_row_bias(Mat& a, const Mat& bias);
+
+double sigmoid(double x);
+
+}  // namespace gnnmls::ml

@@ -1,0 +1,70 @@
+#include "ml/transformer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnnmls::ml {
+
+GraphTransformer::GraphTransformer(const TransformerConfig& config, util::Rng& rng)
+    : config_(config) {
+  input_proj_ = std::make_unique<Linear>(config.input_features, config.dim, rng);
+  pos_table_ = Mat(config.max_len, config.dim);
+  for (int pos = 0; pos < config.max_len; ++pos) {
+    for (int j = 0; j < config.dim; ++j) {
+      const double angle =
+          pos / std::pow(10000.0, 2.0 * (j / 2) / static_cast<double>(config.dim));
+      pos_table_.at(pos, j) = (j % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  blocks_.reserve(static_cast<std::size_t>(config.layers));
+  for (int l = 0; l < config.layers; ++l) {
+    Block b;
+    b.ln1 = std::make_unique<LayerNorm>(config.dim);
+    b.attn = std::make_unique<MultiHeadAttention>(config.dim, config.heads, rng);
+    b.ln2 = std::make_unique<LayerNorm>(config.dim);
+    b.ffn = std::make_unique<FeedForward>(config.dim, config.ffn_hidden, rng);
+    blocks_.push_back(std::move(b));
+  }
+  final_ln_ = std::make_unique<LayerNorm>(config.dim);
+}
+
+Mat GraphTransformer::forward(const Mat& x, const Mat& adj) {
+  if (x.rows() > config_.max_len)
+    throw std::invalid_argument("path longer than positional table");
+  Mat h = input_proj_->forward(x);
+  for (int i = 0; i < h.rows(); ++i)
+    for (int j = 0; j < h.cols(); ++j) h.at(i, j) += pos_table_.at(i, j);
+  for (Block& b : blocks_) {
+    // Pre-LN residual blocks: h += Attn(LN(h)); h += FFN(LN(h)).
+    h = add(h, b.attn->forward(b.ln1->forward(h), adj));
+    h = add(h, b.ffn->forward(b.ln2->forward(h)));
+  }
+  return final_ln_->forward(h);
+}
+
+Mat GraphTransformer::backward(const Mat& dh_in) {
+  Mat dh = final_ln_->backward(dh_in);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    // Residual: dh flows both straight through and into the sublayer.
+    Mat d_ffn = it->ln2->backward(it->ffn->backward(dh));
+    dh = add(dh, d_ffn);
+    Mat d_attn = it->ln1->backward(it->attn->backward(dh));
+    dh = add(dh, d_attn);
+  }
+  // Positional table is fixed (sinusoidal), no grads.
+  return input_proj_->backward(dh);
+}
+
+std::vector<Param*> GraphTransformer::params() {
+  std::vector<Param*> ps = input_proj_->params();
+  for (Block& b : blocks_) {
+    for (Param* p : b.ln1->params()) ps.push_back(p);
+    for (Param* p : b.attn->params()) ps.push_back(p);
+    for (Param* p : b.ln2->params()) ps.push_back(p);
+    for (Param* p : b.ffn->params()) ps.push_back(p);
+  }
+  for (Param* p : final_ln_->params()) ps.push_back(p);
+  return ps;
+}
+
+}  // namespace gnnmls::ml

@@ -1,0 +1,54 @@
+// Graph Transformer encoder (paper Section III-C).
+//
+// Architecture per the paper: an input projection of the fused node/net
+// features, sinusoidal positional encoding (timing paths are ordered — the
+// position of a stage along the path matters), then three pre-LN transformer
+// layers, each with three-head self-attention carrying an additive
+// adjacency bias (the "graph" part) and a feed-forward block, and a final
+// layer norm. Output is one embedding per path stage.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/layers.hpp"
+
+namespace gnnmls::ml {
+
+struct TransformerConfig {
+  int input_features = 7;
+  int dim = 48;
+  int heads = 3;
+  int layers = 3;
+  int ffn_hidden = 96;
+  int max_len = 256;  // positional-encoding table size
+};
+
+class GraphTransformer : public Layer {
+ public:
+  GraphTransformer(const TransformerConfig& config, util::Rng& rng);
+
+  // x: [n x input_features], adj: [n x n] (or empty). Returns [n x dim].
+  Mat forward(const Mat& x, const Mat& adj);
+  // dh: [n x dim]; accumulates parameter grads, returns dL/dx (rarely used).
+  Mat backward(const Mat& dh);
+
+  std::vector<Param*> params() override;
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<LayerNorm> ln1;
+    std::unique_ptr<MultiHeadAttention> attn;
+    std::unique_ptr<LayerNorm> ln2;
+    std::unique_ptr<FeedForward> ffn;
+  };
+
+  TransformerConfig config_;
+  std::unique_ptr<Linear> input_proj_;
+  Mat pos_table_;  // max_len x dim, sinusoidal
+  std::vector<Block> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;
+};
+
+}  // namespace gnnmls::ml

@@ -1,0 +1,54 @@
+#include "mls/features.hpp"
+
+namespace gnnmls::mls {
+
+std::array<double, kNumFeatures> stage_features(const netlist::Design& design,
+                                                const tech::Tech3D& tech,
+                                                const route::Router& router,
+                                                const sta::TimingGraph& sta_graph,
+                                                const sta::PathStage& stage) {
+  const netlist::Netlist& nl = design.nl;
+  const netlist::CellInst& cell = nl.cell(stage.cell);
+  const tech::Library& lib = cell.tier == 0 ? tech.bottom : tech.top;
+  const tech::CellType& type = lib.cell(cell.kind);
+
+  double cell_delay = sta_graph.cell_arc_delay_ps(stage.out_pin);
+  if (tech::is_sequential(cell.kind) || cell.kind == tech::CellKind::kSramMacro)
+    cell_delay = type.clk_to_q_ps;
+
+  double wl = 0.0, wire_c = 0.0, wire_r = 0.0;
+  if (stage.net != netlist::kNullId) {
+    const route::NetRoute& r = router.net_route(stage.net);
+    wl = r.wl_um;
+    wire_c = r.cap_ff;
+    wire_r = r.res_ohm;
+  }
+  return {static_cast<double>(cell.x_um),
+          static_cast<double>(cell.y_um),
+          cell_delay,
+          type.output_cap_ff,
+          wl,
+          wire_c,
+          wire_r};
+}
+
+ml::PathGraph build_path_graph(const netlist::Design& design, const tech::Tech3D& tech,
+                               const route::Router& router, const sta::TimingGraph& sta_graph,
+                               const sta::TimingPath& path, int design_tag) {
+  ml::PathGraph g;
+  const int n = static_cast<int>(path.stages.size());
+  g.x = ml::Mat(n, kNumFeatures);
+  g.adj = ml::chain_adjacency(n);
+  g.labels.assign(static_cast<std::size_t>(n), ml::kLabelUnknown);
+  g.net_ids.reserve(static_cast<std::size_t>(n));
+  g.design_tag = design_tag;
+  g.slack_ps = path.slack_ps;
+  for (int i = 0; i < n; ++i) {
+    const auto f = stage_features(design, tech, router, sta_graph, path.stages[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < kNumFeatures; ++j) g.x.at(i, j) = f[static_cast<std::size_t>(j)];
+    g.net_ids.push_back(path.stages[static_cast<std::size_t>(i)].net);
+  }
+  return g;
+}
+
+}  // namespace gnnmls::mls

@@ -1,0 +1,35 @@
+// Table II feature extraction.
+//
+// Each timing-path stage becomes one node (the hyperedge-to-source-node
+// conversion of Figure 5) carrying the fused cell + net features the paper
+// lists:
+//   cell location (x, y)  [um]   - placement of the driving cell
+//   cell delay             [ps]  - load-dependent delay of the driving arc
+//   pin capacitance        [pF->fF here] - output-pin parasitic
+//   wirelength             [um]  - early-global (routed) length of the net
+//   wire capacitance       [fF]  - net capacitance from the router
+//   wire resistance        [Ohm] - net resistance from the router
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "route/router.hpp"
+#include "sta/graph.hpp"
+#include "sta/paths.hpp"
+
+namespace gnnmls::mls {
+
+inline constexpr int kNumFeatures = 7;
+
+// Feature vector of one path stage (raw, unnormalized).
+std::array<double, kNumFeatures> stage_features(const netlist::Design& design,
+                                                const tech::Tech3D& tech,
+                                                const route::Router& router,
+                                                const sta::TimingGraph& sta_graph,
+                                                const sta::PathStage& stage);
+
+// Builds a full PathGraph (features + chain adjacency, labels all unknown).
+ml::PathGraph build_path_graph(const netlist::Design& design, const tech::Tech3D& tech,
+                               const route::Router& router, const sta::TimingGraph& sta_graph,
+                               const sta::TimingPath& path, int design_tag);
+
+}  // namespace gnnmls::mls

@@ -1,0 +1,150 @@
+#include "mls/flow.hpp"
+
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace gnnmls::mls {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kNone: return "No MLS";
+    case Strategy::kSota: return "SOTA";
+    case Strategy::kGnn: return "GNN-MLS";
+  }
+  return "?";
+}
+
+DesignFlow::DesignFlow(netlist::Design design, const FlowConfig& config)
+    : design_(std::move(design)), config_(config) {
+  tech_ = config_.heterogeneous ? tech::make_hetero_tech(design_.info.beol_layers)
+                                : tech::make_homo_tech(design_.info.beol_layers);
+  buffering_report_ = netlist::insert_buffer_trees(design_.nl, config_.buffering);
+  if (config_.heterogeneous) {
+    const floorplan::LevelShifterReport ls = floorplan::insert_level_shifters(design_.nl);
+    level_shifters_ = ls.inserted;
+    // LS insertion re-drives cross-tier sinks through new nets; give those
+    // the same repeater treatment as everything else.
+    const netlist::BufferingReport rep =
+        netlist::insert_repeaters_only(design_.nl, config_.buffering.max_unbuffered_um);
+    buffering_report_.repeaters_added += rep.repeaters_added;
+  }
+  place::place(design_, tech_, config_.placer);
+  router_ = std::make_unique<route::Router>(design_, tech_, config_.router);
+  // Router and STA state become valid at the first evaluate().
+  util::log_info("flow[", design_.info.name, "]: ", design_.nl.num_cells(), " cells, ",
+                 design_.nl.num_nets(), " nets, ", level_shifters_, " level shifters, ",
+                 buffering_report_.buffers_added + buffering_report_.repeaters_added,
+                 " buffers");
+}
+
+FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const route::RouteSummary rs = router_->route_all(flags);
+  if (!sta_) sta_ = std::make_unique<sta::TimingGraph>(design_, tech_, router_->routes());
+  const sta::StaResult sr = sta_->run(design_.info.clock_ps, config_.clock_uncertainty_ps);
+  const pdn::PowerReport pr =
+      pdn::estimate_power(design_, tech_, router_->routes(), config_.power);
+  if (config_.run_pdn)
+    pdn_ = pdn::synthesize_pdn(design_, tech_, router_->routes(), config_.pdn);
+
+  FlowMetrics m;
+  m.design = design_.info.name;
+  m.strategy = to_string(strategy);
+  m.wl_m = rs.total_wl_m;
+  m.wns_ps = sr.wns_ps;
+  m.tns_ns = sr.tns_ns;
+  m.violating = sr.violating_endpoints;
+  m.endpoints = sr.endpoints;
+  m.mls_nets = rs.mls_nets;
+  m.f2f_vias = rs.f2f_pairs;
+  m.power_mw = pr.total_mw;
+  m.ls_power_mw = pr.ls_mw;
+  m.eff_freq_mhz = sr.effective_freq_mhz;
+  m.overflow_gcells = rs.census.overflow_gcells;
+  if (pdn_) {
+    m.ir_drop_pct = pdn_->worst_ir_pct;
+    m.pdn_width_um = pdn_->strap_width_um[1];
+    m.pdn_pitch_um = pdn_->strap_pitch_um[1];
+    m.pdn_util = pdn_->utilization[1];
+  }
+  m.runtime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  util::log_info("flow[", m.design, "/", m.strategy, "]: WNS ", m.wns_ps, " ps, TNS ",
+                 m.tns_ns, " ns, vio ", m.violating, ", MLS nets ", m.mls_nets);
+  return m;
+}
+
+FlowMetrics DesignFlow::evaluate_gnn(GnnMlsEngine& engine, const CorpusOptions& corpus_opts) {
+  // Decisions are made against the no-MLS baseline state (the paper's flow
+  // runs inference at the routing stage, before sharing is applied).
+  evaluate_no_mls();
+  const std::vector<std::uint8_t> flags =
+      engine.decide(design_, tech_, *router_, *sta_, corpus_opts);
+  return evaluate(flags, Strategy::kGnn);
+}
+
+Corpus DesignFlow::corpus(const CorpusOptions& options, int design_tag) const {
+  return build_corpus(design_, tech_, *router_, *sta_, design_tag, options);
+}
+
+DesignFlow::DftMetrics DesignFlow::evaluate_with_dft(const std::vector<std::uint8_t>& flags,
+                                                     Strategy strategy,
+                                                     dft::MlsDftStyle style) {
+  DftMetrics out;
+  // Route with the MLS decisions first so the DFT pass can see which nets
+  // actually used shared layers (insertion is post-routing, Figure 4).
+  router_->route_all(flags);
+  const dft::ScanReport scan = dft::insert_full_scan(design_.nl);
+  out.scan_flops = scan.flops_replaced;
+  dft::MlsDftReport dft_report = dft::insert_mls_dft(design_.nl, router_->routes(), style);
+  out.dft_cells = dft_report.cells_added;
+  // Post-routing ECO (paper Section III-D: "Post-routing ECO adjustments
+  // ensure that the timing impact of these solutions remains minimal"):
+  // re-buffer the nets the DFT cells now drive.
+  netlist::insert_repeaters_only(design_.nl, config_.buffering.max_unbuffered_um);
+
+  // ECO: the netlist changed, so re-route and rebuild the timing graph.
+  sta_.reset();
+  out.flow = evaluate(flags, strategy);
+
+  dft::FaultSimOptions fopt;
+  dft::FaultSimulator sim(design_.nl, dft_report.test_model, fopt);
+  const dft::FaultSimResult fr = sim.run();
+  out.total_faults = fr.total_faults;
+  out.detected_faults = fr.detected;
+  out.coverage = fr.coverage();
+  util::log_info("dft[", design_.info.name, "]: ", fr.detected, "/", fr.total_faults,
+                 " faults detected (", fr.coverage() * 100.0, "%), ", out.scan_flops,
+                 " scan flops, ", out.dft_cells, " DFT cells");
+  return out;
+}
+
+TrainedEngine train_engine_on(std::vector<DesignFlow*> flows, const GnnMlsConfig& config,
+                              int paths_per_design) {
+  TrainedEngine out;
+  out.engine = std::make_unique<GnnMlsEngine>(config);
+
+  std::vector<ml::PathGraph> pooled;
+  int tag = 0;
+  for (DesignFlow* flow : flows) {
+    flow->evaluate_no_mls();  // establish the baseline routing state
+    CorpusOptions co;
+    co.max_paths = paths_per_design;
+    co.include_near_critical = true;
+    co.attach_labels = true;
+    const Corpus c = flow->corpus(co, tag++);
+    for (const ml::PathGraph& g : c.graphs) pooled.push_back(g);
+  }
+  out.corpus_paths = pooled.size();
+  if (pooled.empty()) return out;
+
+  out.report.dgi_loss = out.engine->pretrain(pooled);
+  TrainReport ft = out.engine->fine_tune(pooled);
+  out.report.fine_tune_loss = std::move(ft.fine_tune_loss);
+  out.report.train_metrics = ft.train_metrics;
+  out.report.val_metrics = ft.val_metrics;
+  out.report.train_seconds = ft.train_seconds;
+  return out;
+}
+
+}  // namespace gnnmls::mls

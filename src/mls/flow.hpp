@@ -1,0 +1,132 @@
+// End-to-end design flow driver (paper Figure 4).
+//
+// One DesignFlow owns a benchmark design through the pseudo-3D pipeline:
+//   generate -> fanout buffering / repeaters -> level shifters (hetero) ->
+//   placement -> [per MLS strategy] targeted routing -> STA -> power -> PDN.
+// The three strategies the paper compares are all driven through here:
+//   kNone  - sequential-2D stacking, no sharing (baseline);
+//   kSota  - wirelength-heuristic sharing (reference [9]);
+//   kGnn   - GNN-MLS decisions from a trained engine.
+// evaluate() re-routes from a clean grid each time so strategies see
+// identical starting conditions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dft/dft_mls.hpp"
+#include "dft/scan.hpp"
+#include "floorplan/tier.hpp"
+#include "mls/gnnmls.hpp"
+#include "mls/sota.hpp"
+#include "netlist/buffering.hpp"
+#include "pdn/pdn.hpp"
+#include "place/placer.hpp"
+
+namespace gnnmls::mls {
+
+enum class Strategy { kNone, kSota, kGnn };
+
+std::string to_string(Strategy s);
+
+struct FlowConfig {
+  bool heterogeneous = true;
+  double clock_uncertainty_ps = 40.0;
+  route::RouterOptions router;
+  netlist::BufferingOptions buffering;
+  place::PlacerOptions placer;
+  pdn::PdnOptions pdn;
+  pdn::PowerOptions power;
+  SotaOptions sota;
+  bool run_pdn = true;  // PDN synthesis + IR analysis (Tables IV, Fig 9)
+};
+
+// One row of the paper's PPA tables.
+struct FlowMetrics {
+  std::string design;
+  std::string strategy;
+  double wl_m = 0.0;
+  double wns_ps = 0.0;
+  double tns_ns = 0.0;
+  std::size_t violating = 0;
+  std::size_t endpoints = 0;
+  std::size_t mls_nets = 0;
+  std::size_t f2f_vias = 0;
+  double power_mw = 0.0;
+  double ls_power_mw = 0.0;
+  double ir_drop_pct = 0.0;
+  double eff_freq_mhz = 0.0;
+  double pdn_width_um = 0.0;   // top-layer strap width (memory die)
+  double pdn_pitch_um = 0.0;
+  double pdn_util = 0.0;
+  double runtime_s = 0.0;      // flow wall-clock (routing + STA [+ ML])
+  std::size_t overflow_gcells = 0;
+};
+
+class DesignFlow {
+ public:
+  DesignFlow(netlist::Design design, const FlowConfig& config);
+
+  // Routes with the given per-net flags (empty = no MLS), runs STA + power
+  // (+ PDN), and returns the metrics row.
+  FlowMetrics evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy);
+
+  // Convenience wrappers.
+  FlowMetrics evaluate_no_mls() { return evaluate({}, Strategy::kNone); }
+  FlowMetrics evaluate_sota() { return evaluate(sota_select(design_, config_.sota), Strategy::kSota); }
+  FlowMetrics evaluate_gnn(GnnMlsEngine& engine,
+                           const CorpusOptions& corpus = CorpusOptions{4000, true, 60.0, false, {}});
+
+  // Baseline state access (valid after any evaluate): used for corpus
+  // building and labeling against the no-MLS routing.
+  const netlist::Design& design() const { return design_; }
+  const tech::Tech3D& tech() const { return tech_; }
+  route::Router& router() { return *router_; }
+  sta::TimingGraph& sta() { return *sta_; }
+  const FlowConfig& config() const { return config_; }
+  const pdn::PdnDesign* pdn_design() const { return pdn_ ? &*pdn_ : nullptr; }
+
+  // Builds a (optionally labeled) corpus against the CURRENT routing state;
+  // call after evaluate_no_mls() to label against the baseline.
+  Corpus corpus(const CorpusOptions& options, int design_tag = 0) const;
+
+  // ---- testable-design evaluation (Tables III and VI) --------------------
+  // Inserts full scan plus the chosen MLS DFT style for the given flags,
+  // ECO-re-routes, re-times, and fault-simulates the pre-bond test.
+  // MUTATES the design permanently; run it as the flow's final step.
+  struct DftMetrics {
+    FlowMetrics flow;
+    std::size_t total_faults = 0;
+    std::size_t detected_faults = 0;
+    double coverage = 0.0;
+    std::size_t scan_flops = 0;
+    std::size_t dft_cells = 0;
+  };
+  DftMetrics evaluate_with_dft(const std::vector<std::uint8_t>& flags, Strategy strategy,
+                               dft::MlsDftStyle style);
+
+ private:
+  netlist::Design design_;
+  FlowConfig config_;
+  tech::Tech3D tech_;
+  std::unique_ptr<route::Router> router_;
+  std::unique_ptr<sta::TimingGraph> sta_;
+  std::optional<pdn::PdnDesign> pdn_;
+  netlist::BufferingReport buffering_report_;
+  std::size_t level_shifters_ = 0;
+};
+
+// Trains one engine the way the paper does (Section II-B): pooled unlabeled
+// paths from the four training configurations for DGI, labeled subsets for
+// fine-tuning. Returns the engine plus its training report.
+struct TrainedEngine {
+  std::unique_ptr<GnnMlsEngine> engine;
+  TrainReport report;
+  std::size_t corpus_paths = 0;
+};
+
+TrainedEngine train_engine_on(std::vector<DesignFlow*> flows, const GnnMlsConfig& config = {},
+                              int paths_per_design = 500);
+
+}  // namespace gnnmls::mls

@@ -1,0 +1,70 @@
+#include "mls/labeler.hpp"
+
+namespace gnnmls::mls {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+
+// Delay of a (driver arc + wire arc) pair under a candidate route: the
+// driver's load-dependent term plus the Elmore delay to the given sink.
+double arc_delay_ps(const tech::CellType& drv, const route::NetRoute& r, std::size_t sink_idx) {
+  const double wire = sink_idx < r.sink_elmore_ps.size() ? r.sink_elmore_ps[sink_idx] : 0.0;
+  return drv.drive_res_kohm * r.load_ff + wire;
+}
+}  // namespace
+
+double mls_gain_ps(const netlist::Design& design, const tech::Tech3D& tech,
+                   const route::Router& router, Id net, Id next_cell) {
+  const netlist::Netlist& nl = design.nl;
+  if (net == kNullId) return 0.0;
+  const netlist::Net& n = nl.net(net);
+  if (n.driver == kNullId || n.sinks.empty()) return 0.0;
+
+  // Which sink on this net feeds the path's next stage?
+  std::size_t sink_idx = 0;
+  if (next_cell != kNullId) {
+    for (std::size_t s = 0; s < n.sinks.size(); ++s) {
+      if (nl.pin(n.sinks[s]).cell == next_cell) {
+        sink_idx = s;
+        break;
+      }
+    }
+  }
+  const netlist::CellInst& drv_cell = nl.cell(nl.pin(n.driver).cell);
+  const tech::Library& lib = drv_cell.tier == 0 ? tech.bottom : tech.top;
+  const tech::CellType& drv = lib.cell(drv_cell.kind);
+
+  const route::NetRoute base = router.trial_route(net, /*mls=*/false);
+  const route::NetRoute shared = router.trial_route(net, /*mls=*/true);
+  if (!shared.mls_applied) return 0.0;  // net too short for sharing: no-op
+  return arc_delay_ps(drv, base, sink_idx) - arc_delay_ps(drv, shared, sink_idx);
+}
+
+LabelStats label_path_graph(const netlist::Design& design, const tech::Tech3D& tech,
+                            const route::Router& router, const sta::TimingPath& path,
+                            ml::PathGraph& graph, const LabelerOptions& options) {
+  LabelStats stats;
+  double gain_sum = 0.0, loss_sum = 0.0;
+  std::size_t losses = 0;
+  for (std::size_t i = 0; i < path.stages.size(); ++i) {
+    const Id net = path.stages[i].net;
+    const Id next_cell = (i + 1 < path.stages.size()) ? path.stages[i + 1].cell : kNullId;
+    const double gain = mls_gain_ps(design, tech, router, net, next_cell);
+    const int label = gain > options.min_gain_ps ? 1 : 0;
+    graph.labels[i] = label;
+    ++stats.labeled;
+    if (label == 1) {
+      ++stats.positive;
+      gain_sum += gain;
+    } else {
+      loss_sum += gain;
+      ++losses;
+    }
+  }
+  if (stats.positive > 0) stats.mean_gain_ps = gain_sum / static_cast<double>(stats.positive);
+  if (losses > 0) stats.mean_loss_ps = loss_sum / static_cast<double>(losses);
+  return stats;
+}
+
+}  // namespace gnnmls::mls

@@ -1,0 +1,48 @@
+// STA-oracle label generation (paper Section II-B / Algorithm 1 input).
+//
+// The ground truth for "does MLS help net n?" is obtained the way the paper
+// describes the exhaustive approach: re-route the net with sharing enabled
+// and measure the slack change of its timing path. Because re-routing one
+// net only changes (a) that net's wire delay to the path's sink and (b) the
+// driving cell's load-dependent delay, the slack delta of the path is the
+// (local) arc-delay delta — which the router's what-if trial gives us in
+// O(1) per net instead of a full STA per configuration. The flow-level
+// numbers in the benches are still produced by full re-route + full STA;
+// this fast oracle is only used to produce training labels, mirroring how
+// the paper limits label generation to 500 paths per design.
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "route/router.hpp"
+#include "sta/graph.hpp"
+#include "sta/paths.hpp"
+
+namespace gnnmls::mls {
+
+struct LabelerOptions {
+  // Minimum slack improvement (ps) for a positive label; below the noise
+  // floor MLS is "not worth an F2F pad pair".
+  double min_gain_ps = 1.0;
+};
+
+struct LabelStats {
+  std::size_t labeled = 0;
+  std::size_t positive = 0;
+  double mean_gain_ps = 0.0;   // over positive labels
+  double mean_loss_ps = 0.0;   // over negative labels (gain <= 0)
+};
+
+// Slack delta (ps, positive = MLS helps) for applying MLS to `net`,
+// evaluated for the path sink fed by that net (next stage's cell). Returns
+// 0 for nets with no routable sink on the path.
+double mls_gain_ps(const netlist::Design& design, const tech::Tech3D& tech,
+                   const route::Router& router, netlist::Id net, netlist::Id next_cell);
+
+// Fills graph.labels for every stage (last stage drives the endpoint
+// directly and is labeled too). `path` must be the path the graph was built
+// from.
+LabelStats label_path_graph(const netlist::Design& design, const tech::Tech3D& tech,
+                            const route::Router& router, const sta::TimingPath& path,
+                            ml::PathGraph& graph, const LabelerOptions& options = {});
+
+}  // namespace gnnmls::mls

@@ -1,0 +1,28 @@
+#include "mls/pathset.hpp"
+
+namespace gnnmls::mls {
+
+Corpus build_corpus(const netlist::Design& design, const tech::Tech3D& tech,
+                    const route::Router& router, const sta::TimingGraph& sta_graph,
+                    int design_tag, const CorpusOptions& options) {
+  Corpus corpus;
+  sta::PathExtractOptions pe;
+  pe.max_paths = options.max_paths;
+  pe.include_near_critical = options.include_near_critical;
+  pe.margin_ps = options.margin_ps;
+  corpus.paths = sta::extract_paths(sta_graph, pe);
+
+  corpus.graphs.reserve(corpus.paths.size());
+  for (const sta::TimingPath& path : corpus.paths) {
+    ml::PathGraph g = build_path_graph(design, tech, router, sta_graph, path, design_tag);
+    if (options.attach_labels) {
+      const LabelStats s = label_path_graph(design, tech, router, path, g, options.labeler);
+      corpus.label_stats.labeled += s.labeled;
+      corpus.label_stats.positive += s.positive;
+    }
+    corpus.graphs.push_back(std::move(g));
+  }
+  return corpus;
+}
+
+}  // namespace gnnmls::mls

@@ -1,0 +1,35 @@
+// Path corpus assembly: extract timing paths from a routed design, convert
+// them to PathGraphs, and (optionally) attach oracle labels. This is the
+// data-production side of the paper's training setup — 500 paths per design
+// configuration, pooled across benchmarks for DGI pretraining and a labeled
+// subset for fine-tuning.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "mls/features.hpp"
+#include "mls/labeler.hpp"
+
+namespace gnnmls::mls {
+
+struct CorpusOptions {
+  int max_paths = 500;
+  bool include_near_critical = true;  // harvest passing-but-tight paths too
+  double margin_ps = 80.0;
+  bool attach_labels = false;
+  LabelerOptions labeler;
+};
+
+struct Corpus {
+  std::vector<ml::PathGraph> graphs;
+  std::vector<sta::TimingPath> paths;  // parallel to graphs
+  LabelStats label_stats;              // aggregate (when labels attached)
+};
+
+// Requires sta_graph.run() to have been called on the current routing state.
+Corpus build_corpus(const netlist::Design& design, const tech::Tech3D& tech,
+                    const route::Router& router, const sta::TimingGraph& sta_graph,
+                    int design_tag, const CorpusOptions& options = {});
+
+}  // namespace gnnmls::mls

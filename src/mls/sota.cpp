@@ -1,0 +1,27 @@
+#include "mls/sota.hpp"
+
+#include <algorithm>
+
+namespace gnnmls::mls {
+
+std::vector<std::uint8_t> sota_select(const netlist::Design& design, const SotaOptions& options) {
+  const netlist::Netlist& nl = design.nl;
+  std::vector<std::uint8_t> flags(nl.num_nets(), 0);
+  for (netlist::Id n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == netlist::kNullId || net.sinks.empty()) continue;
+    if (net.sinks.size() > options.max_fanout) continue;
+    if (nl.is_3d_net(n)) continue;  // already crossing; nothing to share
+    if (options.bottom_tier_only &&
+        nl.cell(nl.pin(net.driver).cell).tier != 0)
+      continue;
+    if (nl.net_hpwl_um(n) >= options.min_wl_um) flags[n] = 1;
+  }
+  return flags;
+}
+
+std::size_t count_flags(const std::vector<std::uint8_t>& flags) {
+  return static_cast<std::size_t>(std::count(flags.begin(), flags.end(), std::uint8_t{1}));
+}
+
+}  // namespace gnnmls::mls

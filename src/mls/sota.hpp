@@ -1,0 +1,37 @@
+// State-of-the-art MLS baseline (paper reference [9], Pentapati & Lim,
+// "Metal Layer Sharing: A Routing Optimization Technique for Monolithic 3D
+// ICs", TVLSI 2022).
+//
+// The SOTA technique selects nets for sharing with routing-level heuristics
+// — long nets whose bounding box suggests they would benefit from the other
+// tier's resources — with no net-level timing model. That indiscriminate
+// selection is exactly what Table I shows backfiring (net n146095 got
+// worse), and what GNN-MLS replaces. We implement it faithfully as a
+// wirelength/fanout-gated selector over the placed design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/generators.hpp"
+
+namespace gnnmls::mls {
+
+struct SotaOptions {
+  // Nets with HPWL at or above this use MLS (routing-demand heuristic).
+  double min_wl_um = 100.0;
+  // High-fanout nets are excluded (they are buffered trees, and [9] targets
+  // point-to-point routing relief).
+  std::size_t max_fanout = 6;
+  // Memory-on-logic context of [9]: sharing means LOGIC-die nets borrowing
+  // the memory die's (mostly idle) metal, so only bottom-tier nets qualify.
+  bool bottom_tier_only = true;
+};
+
+// Per-net MLS flags (parallel to design.nl nets).
+std::vector<std::uint8_t> sota_select(const netlist::Design& design,
+                                      const SotaOptions& options = {});
+
+std::size_t count_flags(const std::vector<std::uint8_t>& flags);
+
+}  // namespace gnnmls::mls

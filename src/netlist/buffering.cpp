@@ -1,0 +1,214 @@
+#include "netlist/buffering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gnnmls::netlist {
+
+namespace {
+
+struct SinkRef {
+  Id pin = kNullId;
+  float x = 0.0f, y = 0.0f;
+  std::uint8_t tier = 0;
+};
+
+// Recursively drives `sinks` from `net` (already created and driven),
+// inserting buffers while the group exceeds max_fanout. `axis` alternates
+// the split direction. Returns the subtree depth in buffer levels.
+std::size_t drive_group(Netlist& nl, Id net, float drv_x, float drv_y,
+                        std::vector<SinkRef> sinks, int max_fanout, double max_span, int axis,
+                        BufferingReport& report) {
+  double span = 0.0;
+  if (sinks.size() > 1) {
+    float min_x = sinks[0].x, max_x = sinks[0].x, min_y = sinks[0].y, max_y = sinks[0].y;
+    for (const SinkRef& s : sinks) {
+      min_x = std::min(min_x, s.x);
+      max_x = std::max(max_x, s.x);
+      min_y = std::min(min_y, s.y);
+      max_y = std::max(max_y, s.y);
+    }
+    span = static_cast<double>(max_x - min_x) + static_cast<double>(max_y - min_y);
+  }
+  if (static_cast<int>(sinks.size()) <= max_fanout && (span <= max_span || sinks.size() == 1)) {
+    for (const SinkRef& s : sinks) nl.add_sink(net, s.pin);
+    return 0;
+  }
+  // Sort along the split axis and carve into <= max_fanout contiguous runs.
+  std::sort(sinks.begin(), sinks.end(), [axis](const SinkRef& a, const SinkRef& b) {
+    return axis == 0 ? a.x < b.x : a.y < b.y;
+  });
+  const std::size_t groups = std::clamp<std::size_t>(
+      (sinks.size() + static_cast<std::size_t>(max_fanout) - 1) /
+          static_cast<std::size_t>(max_fanout),
+      2, static_cast<std::size_t>(max_fanout));
+  const std::size_t per = (sinks.size() + groups - 1) / groups;
+  std::size_t depth = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = g * per;
+    if (begin >= sinks.size()) break;
+    const std::size_t end = std::min(begin + per, sinks.size());
+    std::vector<SinkRef> chunk(sinks.begin() + static_cast<std::ptrdiff_t>(begin),
+                               sinks.begin() + static_cast<std::ptrdiff_t>(end));
+    // Buffer placed on the way from the driver toward the chunk centroid
+    // (midpoint), so the tree marches monotonically toward its sinks
+    // instead of zig-zagging between sibling centroids.
+    double cx = 0.0, cy = 0.0;
+    std::size_t top_count = 0;
+    for (const SinkRef& s : chunk) {
+      cx += s.x;
+      cy += s.y;
+      if (s.tier == 1) ++top_count;
+    }
+    cx /= static_cast<double>(chunk.size());
+    cy /= static_cast<double>(chunk.size());
+    const double bx = 0.5 * (drv_x + cx);
+    const double by = 0.5 * (drv_y + cy);
+    const std::uint8_t tier = (2 * top_count > chunk.size()) ? std::uint8_t{1} : std::uint8_t{0};
+    const Id buf = nl.add_cell(tech::CellKind::kBuf, tier, static_cast<float>(bx),
+                               static_cast<float>(by));
+    ++report.buffers_added;
+    nl.add_sink(net, nl.input_pin(buf, 0));
+    const Id sub_net = nl.add_net();
+    nl.set_driver(sub_net, nl.output_pin(buf, 0));
+    depth = std::max(depth,
+                     1 + drive_group(nl, sub_net, static_cast<float>(bx), static_cast<float>(by),
+                                     std::move(chunk), max_fanout, max_span, 1 - axis, report));
+  }
+  return depth;
+}
+
+}  // namespace
+
+namespace {
+
+// Splits off sinks farther than `pitch` from the driver. Far sinks are
+// grouped by quadrant around the driver (so each group has a coherent
+// direction); each group is re-driven by a repeater one pitch toward its
+// centroid and processed recursively, turning a 700 um run into a chain.
+// A sink only moves behind a repeater if that strictly shortens its
+// remaining distance — guaranteed progress, no oscillation.
+void insert_repeaters(Netlist& nl, Id first_net, double pitch, BufferingReport& report) {
+  // Worklist because repeater insertion creates new nets that may still be
+  // too long.
+  std::vector<Id> work{first_net};
+  while (!work.empty()) {
+    const Id n = work.back();
+    work.pop_back();
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId || net.sinks.empty()) continue;
+    const float dx0 = nl.cell(nl.pin(net.driver).cell).x_um;
+    const float dy0 = nl.cell(nl.pin(net.driver).cell).y_um;
+    std::vector<SinkRef> quadrant[4];
+    for (Id sp : net.sinks) {
+      const CellInst& c = nl.cell(nl.pin(sp).cell);
+      const double dist = std::abs(c.x_um - dx0) + std::abs(c.y_um - dy0);
+      if (dist <= pitch) continue;
+      const int q = (c.x_um >= dx0 ? 1 : 0) + (c.y_um >= dy0 ? 2 : 0);
+      quadrant[q].push_back(SinkRef{sp, c.x_um, c.y_um, c.tier});
+    }
+    for (auto& far : quadrant) {
+      if (far.empty()) continue;
+      double cx = 0.0, cy = 0.0;
+      std::size_t top_count = 0;
+      for (const SinkRef& s : far) {
+        cx += s.x;
+        cy += s.y;
+        if (s.tier == 1) ++top_count;
+      }
+      cx /= static_cast<double>(far.size());
+      cy /= static_cast<double>(far.size());
+      // One pitch from the driver toward the group centroid.
+      const double vx = cx - dx0, vy = cy - dy0;
+      const double dist = std::abs(vx) + std::abs(vy);
+      const double frac = std::min(1.0, pitch / std::max(dist, 1e-6));
+      const double rx = dx0 + vx * frac, ry = dy0 + vy * frac;
+      // Keep only the sinks that actually get closer; progress guarantee.
+      std::vector<SinkRef> moved;
+      for (const SinkRef& s : far) {
+        const double before = std::abs(s.x - dx0) + std::abs(s.y - dy0);
+        const double after = std::abs(s.x - rx) + std::abs(s.y - ry);
+        if (after + 1e-6 < before) moved.push_back(s);
+      }
+      if (moved.empty()) continue;
+      const std::uint8_t tier =
+          (2 * top_count > far.size()) ? std::uint8_t{1} : std::uint8_t{0};
+      const Id rep = nl.add_cell(tech::CellKind::kBuf, tier, static_cast<float>(rx),
+                                 static_cast<float>(ry));
+      ++report.repeaters_added;
+      for (const SinkRef& s : moved) nl.detach_sink(n, s.pin);
+      nl.add_sink(n, nl.input_pin(rep, 0));
+      const Id sub = nl.add_net();
+      nl.set_driver(sub, nl.output_pin(rep, 0));
+      for (const SinkRef& s : moved) nl.add_sink(sub, s.pin);
+      work.push_back(sub);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Rebuilds one net as a buffer tree when it violates the fanout or span
+// limit. Multi-sink nets below the fanout cap can still span the die (an
+// LS re-driving a bank broadcast), so span alone also triggers a rebuild.
+void process_fanout(Netlist& nl, Id n, const BufferingOptions& options,
+                    BufferingReport& report) {
+  const Net& net = nl.net(n);
+  if (net.driver == kNullId || net.sinks.size() < 2) return;
+  bool too_wide = net.sinks.size() > static_cast<std::size_t>(options.max_fanout);
+  if (!too_wide) {
+    float min_x = 1e30f, max_x = -1e30f, min_y = 1e30f, max_y = -1e30f;
+    for (Id sp : net.sinks) {
+      const CellInst& c = nl.cell(nl.pin(sp).cell);
+      min_x = std::min(min_x, c.x_um);
+      max_x = std::max(max_x, c.x_um);
+      min_y = std::min(min_y, c.y_um);
+      max_y = std::max(max_y, c.y_um);
+    }
+    too_wide = (max_x - min_x) + (max_y - min_y) > options.max_chunk_span_um;
+  }
+  if (!too_wide) return;
+  std::vector<SinkRef> sinks;
+  sinks.reserve(net.sinks.size());
+  for (Id sp : net.sinks) {
+    const CellInst& c = nl.cell(nl.pin(sp).cell);
+    sinks.push_back(SinkRef{sp, c.x_um, c.y_um, c.tier});
+  }
+  for (const SinkRef& s : sinks) nl.detach_sink(n, s.pin);
+  const CellInst& drv = nl.cell(nl.pin(net.driver).cell);
+  const std::size_t depth =
+      drive_group(nl, n, drv.x_um, drv.y_um, std::move(sinks), options.max_fanout,
+                  options.max_chunk_span_um, 0, report);
+  report.max_tree_depth = std::max(report.max_tree_depth, depth);
+  ++report.nets_split;
+}
+
+}  // namespace
+
+BufferingReport insert_buffer_trees(Netlist& nl, const BufferingOptions& options) {
+  BufferingReport report;
+  const std::size_t original_nets = nl.num_nets();
+  for (Id n = 0; n < original_nets; ++n) process_fanout(nl, n, options, report);
+  if (options.max_unbuffered_um > 0.0) {
+    const std::size_t nets_after_fanout = nl.num_nets();
+    for (Id n = 0; n < nets_after_fanout; ++n)
+      insert_repeaters(nl, n, options.max_unbuffered_um, report);
+  }
+  return report;
+}
+
+BufferingReport insert_repeaters_only(Netlist& nl, double pitch_um) {
+  BufferingReport report;
+  BufferingOptions options;
+  options.max_unbuffered_um = pitch_um;
+  const std::size_t nets = nl.num_nets();
+  for (Id n = 0; n < nets; ++n) process_fanout(nl, n, options, report);
+  const std::size_t after = nl.num_nets();
+  for (Id n = 0; n < after; ++n) insert_repeaters(nl, n, pitch_um, report);
+  return report;
+}
+
+}  // namespace gnnmls::netlist

@@ -1,0 +1,48 @@
+// Fanout buffering (high-fanout net synthesis).
+//
+// Commercial P&R flows never leave a 1000-sink control broadcast on a single
+// driver; they build buffer trees during placement optimization. Without
+// this pass our synthetic designs would be dominated by multi-nanosecond
+// high-fanout nets and every flow comparison (Tables IV-VI) would measure
+// buffering artifacts instead of MLS effects. The pass recursively splits
+// any net whose sink count exceeds `max_fanout` into spatial clusters, each
+// re-driven by a buffer at the cluster centroid (k-d style alternating x/y
+// splits keep clusters compact, which keeps the new nets short).
+//
+// Run after generation, before level-shifter insertion and placement.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace gnnmls::netlist {
+
+struct BufferingOptions {
+  int max_fanout = 8;
+  // A buffer-tree chunk wider than this is split even when its fanout is
+  // small; otherwise one buffer could drive a die-spanning chunk.
+  double max_chunk_span_um = 300.0;
+  // Repeater pitch: sinks farther than this (Manhattan) get re-driven by a
+  // buffer chain marching toward them. 0 disables repeater insertion.
+  // 400 um segments keep a meaningful RC per hop (the resource MLS plays
+  // with) while bounding worst-case wire delay like a real flow would.
+  double max_unbuffered_um = 400.0;
+};
+
+struct BufferingReport {
+  std::size_t buffers_added = 0;
+  std::size_t nets_split = 0;
+  std::size_t max_tree_depth = 0;
+  std::size_t repeaters_added = 0;
+};
+
+// Fanout trees first, then wire-length repeaters. Run after generation,
+// before level shifters and placement.
+BufferingReport insert_buffer_trees(Netlist& nl, const BufferingOptions& options = {});
+
+// Repeater pass only (no fanout-tree rebuild). Run again after structural
+// edits that create new long nets (level-shifter insertion, DFT insertion).
+BufferingReport insert_repeaters_only(Netlist& nl, double pitch_um = 400.0);
+
+}  // namespace gnnmls::netlist

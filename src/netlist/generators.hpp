@@ -1,0 +1,100 @@
+// Synthetic benchmark generators.
+//
+// The paper evaluates on MAERI accelerator configurations (16PE 4BW,
+// 128PE 32BW, 256PE 64BW) and ARM Cortex-A7 single/dual-core designs, placed
+// and routed with a commercial memory-on-logic flow. We cannot redistribute
+// that RTL or the PDK, so these generators synthesize gate-level designs of
+// the same topology families and size order:
+//
+//   * MAERI-style: a distribution tree fanning SRAM-bank operands out to a
+//     grid of multiplier PEs, and an adder (reduction) tree collecting
+//     results back to the banks — balanced-tree interconnect with local PE
+//     links, a few very-high-fanout control broadcasts, and wide 3D buses
+//     between the memory die (banks, top tier) and the logic die (trees/PEs,
+//     bottom tier). [Kwon et al., MAERI, ASPLOS'18]
+//   * A7-style: two in-order pipelined cores (5 stages of random logic
+//     separated by pipeline registers, a flip-flop register file) with L1
+//     instruction/data SRAM banks on the memory die and long 64-bit buses to
+//     the pipeline — the long-bus-dominated topology that makes MLS coverage
+//     behave differently from MAERI in Tables IV/V.
+//
+// What matters for reproducing the paper is that the *distribution of nets*
+// (length, fanout, tier crossing, position on critical paths) matches these
+// families; the exact logic function does not, so internal cones are
+// generated as layered random logic with controlled depth and locality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace gnnmls::netlist {
+
+// Flow-level metadata carried alongside the raw netlist.
+struct DesignInfo {
+  std::string name;
+  double clock_ps = 400.0;   // target period (2.5 GHz default)
+  double die_w_um = 600.0;
+  double die_h_um = 600.0;
+  int beol_layers = 6;       // per die (paper: 6+6 for MAERI, 8+8 for A7)
+  std::uint64_t seed = 1;
+};
+
+struct Design {
+  Netlist nl;
+  DesignInfo info;
+};
+
+// ---- MAERI-style accelerator ---------------------------------------------
+struct MaeriParams {
+  int num_pe = 128;      // power of two
+  int bandwidth = 32;    // SRAM banks / tree root streams, power of two
+  int word_bits = 10;    // datapath width; ripple carries make this the
+                         // near-critical logic depth at 2.5 GHz
+  int mult_depth_bias = 2;  // extra multiplier-cone depth (per-node timing calibration)
+  int mult_depth_mod = 6;   // per-PE depth variance range
+  double die_w_um = 620.0;
+  double clock_ps = 400.0;  // 2.5 GHz target (Tables IV/V)
+  std::uint64_t seed = 1;
+};
+
+Design make_maeri(const MaeriParams& params);
+
+// ---- A7-style core --------------------------------------------------------
+struct A7Params {
+  int num_cores = 2;
+  int stage_gates = 1200;   // random-logic gates per pipeline stage
+  int bus_bits = 96;        // cache<->pipeline bus width
+  int l1_banks = 8;         // SRAM banks per cache (I and D each)
+  double die_w_um = 1050.0;
+  double clock_ps = 500.0;  // 2.0 GHz target (Tables IV/V)
+  std::uint64_t seed = 2;
+};
+
+Design make_a7(const A7Params& params);
+
+// ---- random layered DAG (tests / microbenches) ----------------------------
+struct RandomDagParams {
+  int num_inputs = 16;
+  int num_outputs = 8;
+  int gates = 200;
+  int depth = 10;          // approximate logic depth
+  double p_multi_fanout = 0.3;
+  double die_w_um = 100.0;
+  double clock_ps = 500.0;
+  bool two_tier = false;   // scatter cells over both tiers when true
+  std::uint64_t seed = 3;
+};
+
+Design make_random_dag(const RandomDagParams& params);
+
+// Named paper configurations (Table IV/V/III benchmarks).
+Design make_maeri_16pe(std::uint64_t seed = 11);    // motivation + Table III
+Design make_maeri_128pe(std::uint64_t seed = 12);   // hetero benchmark
+Design make_maeri_256pe(std::uint64_t seed = 13);   // homo benchmark
+Design make_a7_single_core(std::uint64_t seed = 14);  // training-data design
+Design make_a7_dual_core(std::uint64_t seed = 15);    // hetero + homo benchmark
+
+}  // namespace gnnmls::netlist

@@ -1,0 +1,186 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gnnmls::netlist {
+
+namespace {
+
+void pin_counts(tech::CellKind kind, std::uint16_t& num_in, std::uint16_t& num_out) {
+  switch (kind) {
+    case tech::CellKind::kInput:
+      num_in = 0;
+      num_out = 1;
+      return;
+    case tech::CellKind::kOutput:
+      num_in = 1;
+      num_out = 0;
+      return;
+    case tech::CellKind::kSramMacro:
+      num_in = 8;
+      num_out = 8;
+      return;
+    default:
+      num_in = static_cast<std::uint16_t>(tech::num_data_inputs(kind));
+      num_out = 1;
+      return;
+  }
+}
+
+}  // namespace
+
+Id Netlist::add_cell(tech::CellKind kind, std::uint8_t tier, float x_um, float y_um) {
+  CellInst c;
+  c.kind = kind;
+  c.tier = tier;
+  c.x_um = x_um;
+  c.y_um = y_um;
+  pin_counts(kind, c.num_in, c.num_out);
+  c.first_pin = static_cast<Id>(pins_.size());
+  const Id cell_id = static_cast<Id>(cells_.size());
+  for (std::uint16_t i = 0; i < c.num_in; ++i)
+    pins_.push_back(Pin{cell_id, kNullId, PinDir::kIn, i});
+  for (std::uint16_t i = 0; i < c.num_out; ++i)
+    pins_.push_back(Pin{cell_id, kNullId, PinDir::kOut, i});
+  cells_.push_back(c);
+  return cell_id;
+}
+
+Id Netlist::add_net() {
+  nets_.push_back(Net{});
+  return static_cast<Id>(nets_.size() - 1);
+}
+
+void Netlist::set_driver(Id net, Id pin) {
+  if (pins_[pin].dir != PinDir::kOut) throw std::logic_error("driver must be an output pin");
+  if (nets_[net].driver != kNullId) throw std::logic_error("net already driven");
+  if (pins_[pin].net != kNullId) throw std::logic_error("output pin already drives a net");
+  nets_[net].driver = pin;
+  pins_[pin].net = net;
+}
+
+void Netlist::add_sink(Id net, Id pin) {
+  if (pins_[pin].dir != PinDir::kIn) throw std::logic_error("sink must be an input pin");
+  if (pins_[pin].net != kNullId) throw std::logic_error("input pin already connected");
+  nets_[net].sinks.push_back(pin);
+  pins_[pin].net = net;
+}
+
+void Netlist::detach_sink(Id net, Id pin) {
+  auto& sinks = nets_[net].sinks;
+  const auto it = std::find(sinks.begin(), sinks.end(), pin);
+  if (it == sinks.end()) throw std::logic_error("pin is not a sink of net");
+  sinks.erase(it);
+  pins_[pin].net = kNullId;
+}
+
+void Netlist::detach_driver(Id net) {
+  const Id drv = nets_[net].driver;
+  if (drv == kNullId) return;
+  pins_[drv].net = kNullId;
+  nets_[net].driver = kNullId;
+}
+
+bool Netlist::is_orphan(Id cell_id) const {
+  const CellInst& c = cells_[cell_id];
+  const Id last = c.first_pin + c.num_in + c.num_out;
+  for (Id p = c.first_pin; p < last; ++p)
+    if (pins_[p].net != kNullId) return false;
+  return c.num_in + c.num_out > 0;
+}
+
+Id Netlist::connect(Id driver_cell, int out_idx, Id sink_cell, int in_idx) {
+  const Id out_pin = output_pin(driver_cell, out_idx);
+  Id net = pins_[out_pin].net;
+  if (net == kNullId) {
+    net = add_net();
+    set_driver(net, out_pin);
+  }
+  add_sink(net, input_pin(sink_cell, in_idx));
+  return net;
+}
+
+Id Netlist::input_pin(Id cell, int i) const {
+  const CellInst& c = cells_[cell];
+  if (i < 0 || i >= c.num_in) throw std::out_of_range("input pin index");
+  return c.first_pin + static_cast<Id>(i);
+}
+
+Id Netlist::output_pin(Id cell, int i) const {
+  const CellInst& c = cells_[cell];
+  if (i < 0 || i >= c.num_out) throw std::out_of_range("output pin index");
+  return c.first_pin + c.num_in + static_cast<Id>(i);
+}
+
+bool Netlist::is_3d_net(Id net_id) const {
+  const Net& n = nets_[net_id];
+  if (n.driver == kNullId) return false;
+  const std::uint8_t drv_tier = cells_[pins_[n.driver].cell].tier;
+  for (Id s : n.sinks)
+    if (cells_[pins_[s].cell].tier != drv_tier) return true;
+  return false;
+}
+
+double Netlist::net_hpwl_um(Id net_id) const {
+  const Net& n = nets_[net_id];
+  if (n.driver == kNullId) return 0.0;
+  const CellInst& d = cells_[pins_[n.driver].cell];
+  float min_x = d.x_um, max_x = d.x_um, min_y = d.y_um, max_y = d.y_um;
+  for (Id s : n.sinks) {
+    const CellInst& c = cells_[pins_[s].cell];
+    min_x = std::min(min_x, c.x_um);
+    max_x = std::max(max_x, c.x_um);
+    min_y = std::min(min_y, c.y_um);
+    max_y = std::max(max_y, c.y_um);
+  }
+  return static_cast<double>(max_x - min_x) + static_cast<double>(max_y - min_y);
+}
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> problems;
+  auto complain = [&](std::string msg) {
+    if (problems.size() < 32) problems.push_back(std::move(msg));
+  };
+  for (Id n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.driver == kNullId) {
+      complain("net " + net_name(n) + " has no driver");
+      continue;
+    }
+    if (pins_[net.driver].net != n)
+      complain("net " + net_name(n) + " driver back-reference broken");
+    for (Id s : net.sinks) {
+      if (pins_[s].net != n) complain("net " + net_name(n) + " sink back-reference broken");
+      if (pins_[s].dir != PinDir::kIn) complain("net " + net_name(n) + " has output pin as sink");
+    }
+  }
+  for (Id p = 0; p < pins_.size(); ++p) {
+    const Pin& pin = pins_[p];
+    if (pin.dir == PinDir::kIn && pin.net == kNullId && !is_orphan(pin.cell))
+      complain("floating input pin on cell " + cell_name(pin.cell));
+  }
+  return problems;
+}
+
+Netlist::Stats Netlist::stats() const {
+  Stats s;
+  s.cells = cells_.size();
+  s.nets = nets_.size();
+  s.pins = pins_.size();
+  for (const CellInst& c : cells_) {
+    if (c.tier == 0) ++s.cells_bottom;
+    else ++s.cells_top;
+    if (tech::is_sequential(c.kind)) ++s.sequential;
+    else if (c.kind == tech::CellKind::kSramMacro) ++s.macros;
+    else if (c.kind == tech::CellKind::kInput || c.kind == tech::CellKind::kOutput) ++s.ports;
+    else ++s.combinational;
+  }
+  for (Id n = 0; n < nets_.size(); ++n) {
+    if (is_3d_net(n)) ++s.nets_3d;
+    if (nets_[n].sinks.size() >= 2) ++s.multi_fanout_nets;
+  }
+  return s;
+}
+
+}  // namespace gnnmls::netlist

@@ -1,0 +1,136 @@
+// Gate-level netlist model for two-tier 3D designs.
+//
+// The netlist is the shared substrate under placement, routing, STA, fault
+// simulation, and the GNN-MLS decision engine. It is deliberately compact —
+// index-based cells/pins/nets in flat arrays — because the benchmark designs
+// (MAERI PE arrays, A7-style dual cores) run to ~10^5 cells and every flow
+// stage iterates them repeatedly.
+//
+// Conventions:
+//   * Every cell's pins are laid out contiguously: inputs first, outputs
+//     after. Sequential cells have an implicit clock (the flow models one
+//     global clock per design, as the paper's benchmarks do).
+//   * A net has exactly one driver pin and >= 0 sink pins (a hyperedge).
+//     Multi-pin nets are first-class; the hypergraph->node conversion in
+//     mls/pathset.cpp relies on the unique driver.
+//   * Tier 0 is the bottom (logic) die, tier 1 the top (memory) die. 3D nets
+//     span both tiers and cross through F2F vias.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tech/tech.hpp"
+
+namespace gnnmls::netlist {
+
+using Id = std::uint32_t;
+inline constexpr Id kNullId = 0xFFFFFFFFu;
+
+enum class PinDir : std::uint8_t { kIn, kOut };
+
+struct Pin {
+  Id cell = kNullId;
+  Id net = kNullId;
+  PinDir dir = PinDir::kIn;
+  std::uint16_t index = 0;  // ordinal among the cell's pins of this direction
+};
+
+struct CellInst {
+  tech::CellKind kind = tech::CellKind::kBuf;
+  std::uint8_t tier = 0;  // 0 = bottom/logic die, 1 = top/memory die
+  float x_um = 0.0f;      // placement (generators seed, placer legalizes)
+  float y_um = 0.0f;
+  Id first_pin = kNullId;
+  std::uint16_t num_in = 0;
+  std::uint16_t num_out = 0;
+};
+
+struct Net {
+  Id driver = kNullId;      // pin id
+  std::vector<Id> sinks;    // pin ids
+};
+
+class Netlist {
+ public:
+  // ---- construction ----------------------------------------------------
+  // Creates a cell with the pin count implied by its kind (SRAM macros get
+  // 8 inputs / 8 outputs; everything else per tech::num_data_inputs and one
+  // output, except port pseudo-cells).
+  Id add_cell(tech::CellKind kind, std::uint8_t tier, float x_um = 0.0f, float y_um = 0.0f);
+
+  // Creates an empty net; wire it up with set_driver/add_sink.
+  Id add_net();
+
+  void set_driver(Id net, Id pin);
+  void add_sink(Id net, Id pin);
+
+  // Convenience: connect driver cell's out_idx-th output to sink cell's
+  // in_idx-th input, creating or reusing the driver's net.
+  Id connect(Id driver_cell, int out_idx, Id sink_cell, int in_idx);
+
+  // Disconnects a sink pin from its net (used by level-shifter and DFT
+  // insertion to splice cells into existing nets).
+  void detach_sink(Id net, Id pin);
+
+  // Disconnects a net's driver (used by scan replacement to move a net onto
+  // a new driving cell).
+  void detach_driver(Id net);
+
+  // A cell is orphaned when every pin is disconnected (left behind by scan
+  // replacement); orphans are skipped by validation, power, and fault
+  // enumeration.
+  bool is_orphan(Id cell) const;
+
+  // ---- accessors ---------------------------------------------------------
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_pins() const { return pins_.size(); }
+
+  const CellInst& cell(Id id) const { return cells_[id]; }
+  CellInst& cell(Id id) { return cells_[id]; }
+  const Net& net(Id id) const { return nets_[id]; }
+  const Pin& pin(Id id) const { return pins_[id]; }
+
+  // Pin id of the cell's i-th input / output.
+  Id input_pin(Id cell, int i) const;
+  Id output_pin(Id cell, int i = 0) const;
+
+  // Generated canonical names, stable across runs: cells "u<N>", nets "n<N>".
+  std::string cell_name(Id id) const { return "u" + std::to_string(id); }
+  std::string net_name(Id id) const { return "n" + std::to_string(id); }
+
+  // True when the net's driver and at least one sink sit on different tiers
+  // (a "3D net" in the paper's Figure 1 taxonomy).
+  bool is_3d_net(Id net) const;
+
+  // Half-perimeter wirelength of the net's pin bounding box, in um.
+  double net_hpwl_um(Id net) const;
+
+  // ---- integrity ---------------------------------------------------------
+  // Verifies structural invariants (every net driven, every input pin tied,
+  // pin/cell back-references consistent). Returns a human-readable problem
+  // list; empty means healthy.
+  std::vector<std::string> validate() const;
+
+  struct Stats {
+    std::size_t cells = 0, nets = 0, pins = 0;
+    std::size_t sequential = 0, macros = 0, combinational = 0, ports = 0;
+    std::size_t cells_bottom = 0, cells_top = 0;
+    std::size_t nets_3d = 0;
+    std::size_t multi_fanout_nets = 0;  // nets with >= 2 sinks
+  };
+  Stats stats() const;
+
+  std::span<const CellInst> cells() const { return cells_; }
+  std::span<const Net> nets() const { return nets_; }
+
+ private:
+  std::vector<CellInst> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+};
+
+}  // namespace gnnmls::netlist

@@ -1,0 +1,103 @@
+#include "pdn/irdrop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace gnnmls::pdn {
+
+IrDropResult solve_ir_drop(const PdnGridSpec& spec, const std::vector<double>& power_map_mw,
+                           int map_nx, int map_ny) {
+  IrDropResult result;
+  // PDN node grid: one node per strap crossing, capped for solver cost.
+  int nx = std::max(2, static_cast<int>(spec.die_w_um / spec.strap_pitch_um));
+  int ny = std::max(2, static_cast<int>(spec.die_h_um / spec.strap_pitch_um));
+  nx = std::min(nx, 96);
+  ny = std::min(ny, 96);
+  result.grid_nx = nx;
+  result.grid_ny = ny;
+
+  // Conductance of one strap segment between adjacent crossings.
+  const double seg_len_x = spec.die_w_um / nx;
+  const double seg_len_y = spec.die_h_um / ny;
+  const double g_x = spec.strap_width_um / (spec.sheet_r_ohm * seg_len_x);  // 1/Ohm
+  const double g_y = spec.strap_width_um / (spec.sheet_r_ohm * seg_len_y);
+
+  // Current injection per node: resample the power map, I = P / VDD.
+  std::vector<double> inj_a(static_cast<std::size_t>(nx) * ny, 0.0);
+  if (!power_map_mw.empty() && map_nx > 0 && map_ny > 0) {
+    for (int my = 0; my < map_ny; ++my) {
+      for (int mx = 0; mx < map_nx; ++mx) {
+        const double p_mw = power_map_mw[static_cast<std::size_t>(my) * map_nx + mx];
+        if (p_mw <= 0.0) continue;
+        const int x = std::min(nx - 1, mx * nx / map_nx);
+        const int y = std::min(ny - 1, my * ny / map_ny);
+        inj_a[static_cast<std::size_t>(y) * nx + x] += p_mw * 1e-3 / spec.vdd;
+      }
+    }
+  }
+
+  // SOR relaxation; boundary nodes are ideal VDD sources.
+  std::vector<double> v(static_cast<std::size_t>(nx) * ny, spec.vdd);
+  const double omega = 1.85;
+  const double tol_v = 1e-7;
+  const int max_iters = 4000;
+  auto at = [&](int x, int y) -> double& { return v[static_cast<std::size_t>(y) * nx + x]; };
+  int iter = 0;
+  for (; iter < max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (int y = 1; y + 1 < ny; ++y) {
+      for (int x = 1; x + 1 < nx; ++x) {
+        const double g_sum = 2.0 * g_x + 2.0 * g_y;
+        const double neighbor =
+            g_x * (at(x - 1, y) + at(x + 1, y)) + g_y * (at(x, y - 1) + at(x, y + 1));
+        const double target = (neighbor - inj_a[static_cast<std::size_t>(y) * nx + x]) / g_sum;
+        const double old = at(x, y);
+        const double next = old + omega * (target - old);
+        at(x, y) = next;
+        max_delta = std::max(max_delta, std::abs(next - old));
+      }
+    }
+    if (max_delta < tol_v) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.iterations = iter + 1;
+
+  result.node_drop_mv.resize(v.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double drop = (spec.vdd - v[i]) * 1e3;
+    result.node_drop_mv[i] = drop;
+    result.max_drop_mv = std::max(result.max_drop_mv, drop);
+    sum += drop;
+  }
+  result.mean_drop_mv = sum / static_cast<double>(v.size());
+  result.drop_pct_of_vdd = result.max_drop_mv / (spec.vdd * 1e3) * 100.0;
+  return result;
+}
+
+std::string render_drop_map(const IrDropResult& result, int target_cols) {
+  static const char kShades[] = " .:-=+*#%@";
+  const int nx = result.grid_nx, ny = result.grid_ny;
+  if (nx == 0 || ny == 0) return "";
+  const int cols = std::min(target_cols, nx);
+  const int rows = std::max(1, cols * ny / nx / 2);  // terminal cells are ~2:1
+  std::string out;
+  const double scale = result.max_drop_mv > 0.0 ? result.max_drop_mv : 1.0;
+  for (int r = 0; r < rows; ++r) {
+    out += "    ";
+    for (int c = 0; c < cols; ++c) {
+      const int x = c * nx / cols;
+      const int y = r * ny / rows;
+      const double d = result.node_drop_mv[static_cast<std::size_t>(y) * nx + x] / scale;
+      const int shade = std::clamp(static_cast<int>(d * 9.0), 0, 9);
+      out += kShades[shade];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gnnmls::pdn

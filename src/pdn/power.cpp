@@ -1,0 +1,61 @@
+#include "pdn/power.hpp"
+
+namespace gnnmls::pdn {
+
+PowerReport estimate_power(const netlist::Design& design, const tech::Tech3D& tech,
+                           const std::vector<route::NetRoute>& routes,
+                           const PowerOptions& options) {
+  PowerReport report;
+  const netlist::Netlist& nl = design.nl;
+  const double f_ghz = 1000.0 / design.info.clock_ps;
+
+  for (netlist::Id c = 0; c < nl.num_cells(); ++c) {
+    const netlist::CellInst& cell = nl.cell(c);
+    if (nl.is_orphan(c)) continue;
+    const tech::Library& lib = cell.tier == 0 ? tech.bottom : tech.top;
+    const tech::CellType& type = lib.cell(cell.kind);
+    const double vdd = lib.vdd();
+    double cell_uw = 0.0;
+    double wire_uw = 0.0;
+
+    // Switched capacitance: internal (input pins) + driven nets.
+    double c_internal = type.input_cap_ff * cell.num_in;
+    double c_wire = 0.0, c_pins = 0.0;
+    for (int o = 0; o < cell.num_out; ++o) {
+      const netlist::Id pin = nl.output_pin(c, o);
+      const netlist::Id net = nl.pin(pin).net;
+      if (net == netlist::kNullId) continue;
+      const route::NetRoute& r = routes[net];
+      c_wire += r.cap_ff;
+      c_pins += r.load_ff - r.cap_ff;
+    }
+    // fF * V^2 * GHz = uW.
+    const double a = options.activity;
+    cell_uw = a * (c_internal + c_pins) * vdd * vdd * f_ghz;
+    wire_uw = a * c_wire * vdd * vdd * f_ghz;
+
+    if (cell.kind == tech::CellKind::kSramMacro) {
+      const double scale = lib.node() == tech::Node::kN16 ? 0.55 : 1.0;
+      const double access_uw =
+          options.activity * options.sram_access_energy_pj * scale * f_ghz * 1e3;  // pJ*GHz = mW -> uW
+      report.sram_mw += access_uw * 1e-3;
+      report.per_tier_mw[cell.tier] += access_uw * 1e-3;
+    }
+
+    const double leak_uw = type.leakage_uw;
+    if (cell.kind == tech::CellKind::kLevelShifter) {
+      report.ls_mw += (cell_uw + wire_uw + leak_uw) * 1e-3;
+      report.per_tier_mw[cell.tier] += (cell_uw + wire_uw + leak_uw) * 1e-3;
+      continue;
+    }
+    report.dynamic_mw += cell_uw * 1e-3;
+    report.wire_mw += wire_uw * 1e-3;
+    report.leakage_mw += leak_uw * 1e-3;
+    report.per_tier_mw[cell.tier] += (cell_uw + wire_uw + leak_uw) * 1e-3;
+  }
+  report.total_mw = report.dynamic_mw + report.wire_mw + report.sram_mw + report.leakage_mw +
+                    report.ls_mw;
+  return report;
+}
+
+}  // namespace gnnmls::pdn

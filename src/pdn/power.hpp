@@ -1,0 +1,37 @@
+// Power estimation (paper Tables IV-VI "Pwr" and "L.S Pwr" rows).
+//
+// Activity-factor dynamic power plus leakage:
+//   P_dyn(cell)  = alpha * C_switched * VDD^2 * f, with C_switched the cell's
+//                  driven net capacitance (wire + sink pins) plus internal cap;
+//   P_sram       = access-energy model per macro;
+//   P_leak       = per-cell leakage from the library.
+// Level-shifter power is reported separately because the paper tracks the
+// LS overhead of 3D crossings per flow (more MLS nets -> more crossings).
+#pragma once
+
+#include "netlist/generators.hpp"
+#include "route/router.hpp"
+#include "tech/tech.hpp"
+
+namespace gnnmls::pdn {
+
+struct PowerOptions {
+  double activity = 0.15;          // average switching activity
+  double sram_access_energy_pj = 3.5;  // per macro access at 28nm (scaled for 16nm)
+};
+
+struct PowerReport {
+  double dynamic_mw = 0.0;   // combinational + sequential switching
+  double wire_mw = 0.0;      // share of dynamic burned on wire capacitance
+  double sram_mw = 0.0;
+  double leakage_mw = 0.0;
+  double ls_mw = 0.0;        // level-shifter total (reported separately)
+  double total_mw = 0.0;     // everything incl. LS
+  double per_tier_mw[2] = {0.0, 0.0};
+};
+
+PowerReport estimate_power(const netlist::Design& design, const tech::Tech3D& tech,
+                           const std::vector<route::NetRoute>& routes,
+                           const PowerOptions& options = {});
+
+}  // namespace gnnmls::pdn

@@ -1,0 +1,179 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace gnnmls::place {
+
+namespace {
+
+using netlist::Id;
+
+struct Bin {
+  double cap_um2 = 0.0;    // remaining placeable area
+  double used_um2 = 0.0;
+  std::vector<Id> cells;   // movable cells currently assigned here
+};
+
+struct TierGrid {
+  int nx = 0, ny = 0;
+  double bin = 10.0;
+  std::vector<Bin> bins;
+
+  Bin& at(int x, int y) { return bins[static_cast<std::size_t>(y * nx + x)]; }
+  int clamp_x(double x_um) const {
+    return std::clamp(static_cast<int>(x_um / bin), 0, nx - 1);
+  }
+  int clamp_y(double y_um) const {
+    return std::clamp(static_cast<int>(y_um / bin), 0, ny - 1);
+  }
+};
+
+double cell_area(const tech::Tech3D& tech, const netlist::CellInst& c) {
+  const tech::Library& lib = (c.tier == 0) ? tech.bottom : tech.top;
+  return lib.cell(c.kind).area_um2;
+}
+
+}  // namespace
+
+PlaceResult place(netlist::Design& design, const tech::Tech3D& tech,
+                  const PlacerOptions& options) {
+  netlist::Netlist& nl = design.nl;
+  PlaceResult result;
+  util::Rng rng(options.seed);
+
+  const double w = design.info.die_w_um;
+  const double h = design.info.die_h_um;
+  const int nx = std::max(1, static_cast<int>(std::ceil(w / options.bin_um)));
+  const int ny = std::max(1, static_cast<int>(std::ceil(h / options.bin_um)));
+
+  TierGrid grid[2];
+  for (int t = 0; t < 2; ++t) {
+    grid[t].nx = nx;
+    grid[t].ny = ny;
+    grid[t].bin = options.bin_um;
+    grid[t].bins.assign(static_cast<std::size_t>(nx * ny), Bin{});
+    const double bin_cap = options.bin_um * options.bin_um * options.target_utilization;
+    for (auto& b : grid[t].bins) b.cap_um2 = bin_cap;
+  }
+
+  // Pass 1: clamp seeds into the die; macros become obstacles, movable cells
+  // get binned.
+  std::vector<float> seed_x(nl.num_cells()), seed_y(nl.num_cells());
+  for (Id c = 0; c < nl.num_cells(); ++c) {
+    netlist::CellInst& cell = nl.cell(c);
+    cell.x_um = std::clamp(cell.x_um, 0.0f, static_cast<float>(w) - 0.01f);
+    cell.y_um = std::clamp(cell.y_um, 0.0f, static_cast<float>(h) - 0.01f);
+    seed_x[c] = cell.x_um;
+    seed_y[c] = cell.y_um;
+    const double area = cell_area(tech, cell);
+    result.total_cell_area_um2[cell.tier] += area;
+    TierGrid& g = grid[cell.tier];
+    if (cell.kind == tech::CellKind::kSramMacro) {
+      // Subtract the macro footprint from the bins it covers.
+      const double side = std::sqrt(area);
+      const int x0 = g.clamp_x(cell.x_um - side / 2), x1 = g.clamp_x(cell.x_um + side / 2);
+      const int y0 = g.clamp_y(cell.y_um - side / 2), y1 = g.clamp_y(cell.y_um + side / 2);
+      for (int yy = y0; yy <= y1; ++yy)
+        for (int xx = x0; xx <= x1; ++xx) g.at(xx, yy).cap_um2 = 0.0;
+      continue;
+    }
+    Bin& b = g.at(g.clamp_x(cell.x_um), g.clamp_y(cell.y_um));
+    b.used_um2 += area;
+    b.cells.push_back(c);
+  }
+
+  // Pass 2: ripple overflow outward. Repeatedly take the most overfull bin
+  // and push its farthest-from-seed cells into the least-full neighbor until
+  // every bin fits (or iterations cap out — residual overflow is reported).
+  int iters = 0;
+  for (int t = 0; t < 2; ++t) {
+    TierGrid& g = grid[t];
+    for (int iter = 0; iter < options.max_spread_iters; ++iter) {
+      bool moved_any = false;
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          Bin& b = g.at(x, y);
+          if (b.used_um2 <= b.cap_um2 || b.cells.empty()) continue;
+          // Diffuse into every strictly-less-full neighbor (gradient flow:
+          // cells only move downhill, so waves propagate outward without
+          // oscillating back).
+          const double src_fill = b.used_um2 / std::max(b.cap_um2, 1e-9);
+          for (int dy = -1; dy <= 1 && b.used_um2 > b.cap_um2; ++dy) {
+            for (int dx = -1; dx <= 1 && b.used_um2 > b.cap_um2; ++dx) {
+              if (dx == 0 && dy == 0) continue;
+              const int nx2 = x + dx, ny2 = y + dy;
+              if (nx2 < 0 || nx2 >= nx || ny2 < 0 || ny2 >= ny) continue;
+              Bin& dst = g.at(nx2, ny2);
+              if (dst.cap_um2 <= 0.0) continue;
+              while (b.used_um2 > b.cap_um2 && !b.cells.empty()) {
+                const double dst_fill = dst.used_um2 / dst.cap_um2;
+                // Allow filling up to ~25% over target while a wave passes;
+                // later iterations drain it outward.
+                if (dst_fill + 1e-9 >= src_fill || dst_fill >= 1.25) break;
+                const Id c = b.cells.back();
+                b.cells.pop_back();
+                const double area = cell_area(tech, nl.cell(c));
+                b.used_um2 -= area;
+                dst.used_um2 += area;
+                dst.cells.push_back(c);
+                netlist::CellInst& cell = nl.cell(c);
+                cell.x_um = static_cast<float>((nx2 + rng.uniform(0.15, 0.85)) * g.bin);
+                cell.y_um = static_cast<float>((ny2 + rng.uniform(0.15, 0.85)) * g.bin);
+                moved_any = true;
+              }
+            }
+          }
+        }
+      }
+      ++iters;
+      if (!moved_any) break;
+    }
+  }
+  result.spread_iterations = iters;
+
+  // Pass 3: spread cells uniformly inside their bin (site-level legality
+  // stand-in) and collect stats.
+  double total_disp = 0.0;
+  std::size_t movable = 0;
+  for (int t = 0; t < 2; ++t) {
+    for (Bin& b : grid[t].bins) {
+      if (b.cells.empty()) continue;
+      const int k = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(b.cells.size()))));
+      for (std::size_t i = 0; i < b.cells.size(); ++i) {
+        netlist::CellInst& cell = nl.cell(b.cells[i]);
+        const int gx = static_cast<int>(i) % k;
+        const int gy = static_cast<int>(i) / k;
+        const double bx = std::floor(cell.x_um / options.bin_um) * options.bin_um;
+        const double by = std::floor(cell.y_um / options.bin_um) * options.bin_um;
+        cell.x_um = static_cast<float>(bx + (gx + 0.5) * options.bin_um / k);
+        cell.y_um = static_cast<float>(by + (gy + 0.5) * options.bin_um / k);
+        const double dx = cell.x_um - seed_x[b.cells[i]];
+        const double dy = cell.y_um - seed_y[b.cells[i]];
+        const double disp = std::sqrt(dx * dx + dy * dy);
+        total_disp += disp;
+        result.max_displacement_um = std::max(result.max_displacement_um, disp);
+        ++movable;
+      }
+      const double cap_for_util = b.cap_um2 > 0.0
+                                      ? b.cap_um2 / options.target_utilization
+                                      : options.bin_um * options.bin_um;
+      result.peak_bin_utilization =
+          std::max(result.peak_bin_utilization, b.used_um2 / cap_for_util);
+    }
+  }
+  if (movable > 0) result.mean_displacement_um = total_disp / static_cast<double>(movable);
+  for (int t = 0; t < 2; ++t)
+    result.die_utilization[t] = result.total_cell_area_um2[t] / (w * h);
+
+  util::log_debug("placer: mean disp ", result.mean_displacement_um, " um, peak bin util ",
+                  result.peak_bin_utilization);
+  return result;
+}
+
+}  // namespace gnnmls::place

@@ -1,0 +1,43 @@
+// Tier-aware placement legalization.
+//
+// Generators seed every cell at its cluster's centroid with Gaussian jitter;
+// that produces realistic *relative* positions but illegal local densities
+// (hundreds of cells stacked at a PE center). This placer performs the step
+// a commercial flow's global-place + legalize pass would: it spreads each
+// tier's standard cells across density bins until no bin exceeds the target
+// utilization, keeping every cell as close to its seed location as possible
+// (minimum-displacement spreading). SRAM macros are immovable obstacles that
+// subtract bin capacity.
+//
+// The routing and timing results downstream only depend on cell (x, y), so
+// this is the full placement substrate the paper's flow needs.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/generators.hpp"
+#include "tech/tech.hpp"
+
+namespace gnnmls::place {
+
+struct PlacerOptions {
+  double bin_um = 10.0;           // density-bin edge
+  double target_utilization = 0.65;
+  int max_spread_iters = 200;
+  std::uint64_t seed = 7;
+};
+
+struct PlaceResult {
+  double mean_displacement_um = 0.0;
+  double max_displacement_um = 0.0;
+  double peak_bin_utilization = 0.0;   // after spreading
+  double total_cell_area_um2[2] = {0.0, 0.0};  // per tier
+  double die_utilization[2] = {0.0, 0.0};
+  int spread_iterations = 0;
+};
+
+// Legalizes in place (mutates cell x/y in design.nl).
+PlaceResult place(netlist::Design& design, const tech::Tech3D& tech,
+                  const PlacerOptions& options = {});
+
+}  // namespace gnnmls::place

@@ -1,0 +1,404 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/log.hpp"
+
+namespace gnnmls::route {
+
+namespace {
+
+using netlist::Id;
+using netlist::kNullId;
+
+// One terminal of a net: pin position + electrical role.
+struct Terminal {
+  float x = 0.0f, y = 0.0f;
+  std::uint8_t tier = 0;
+  float pin_cap_ff = 0.0f;  // 0 for the driver terminal
+};
+
+// A candidate way to route one tree edge.
+struct EdgeChoice {
+  int route_tier = 0;     // tier whose metals carry the wire
+  int layer_lo = 1;       // layer pair (layer_lo, layer_lo + 1)
+  int f2f = 0;            // F2F vias used (0, 1 = tier change, 2 = MLS round trip)
+  bool shared = false;    // true when this is an MLS shared-layer choice
+  double cost_ps = std::numeric_limits<double>::infinity();
+  double res_ohm = 0.0;
+  double cap_ff = 0.0;
+  double wl_um = 0.0;
+  double overflow = 0.0;  // max usage/capacity seen along the edge
+};
+
+}  // namespace
+
+Router::Router(const netlist::Design& design, const tech::Tech3D& tech,
+               const RouterOptions& options)
+    : design_(design),
+      tech_(tech),
+      options_(options),
+      grid_(design.info.die_w_um, design.info.die_h_um, tech, options.grid) {
+  // PDN straps and clock trunks consume top-pair tracks before any signal
+  // is routed; the leftover is what 2D nets and MLS nets fight over.
+  for (int tier = 0; tier < 2; ++tier) {
+    const int top = grid_.num_layers(tier) - 1;
+    grid_.reserve_layer_fraction(
+        tier, top,
+        std::min(0.95, options_.pdn_top_fraction[tier] + options_.cts_top_fraction));
+    grid_.reserve_layer_fraction(tier, top - 1, options_.cts_second_fraction);
+  }
+}
+
+NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
+  const netlist::Netlist& nl = design_.nl;
+  const netlist::Net& net = nl.net(net_id);
+  NetRoute out;
+  out.sink_elmore_ps.assign(net.sinks.size(), 0.0f);
+  if (net.driver == kNullId || net.sinks.empty()) return out;
+
+  // ---- terminals -----------------------------------------------------------
+  std::vector<Terminal> terms;
+  terms.reserve(net.sinks.size() + 1);
+  {
+    const netlist::CellInst& dc = nl.cell(nl.pin(net.driver).cell);
+    terms.push_back(Terminal{dc.x_um, dc.y_um, dc.tier, 0.0f});
+  }
+  for (Id sp : net.sinks) {
+    const netlist::CellInst& sc = nl.cell(nl.pin(sp).cell);
+    const tech::Library& lib = (sc.tier == 0) ? tech_.bottom : tech_.top;
+    terms.push_back(Terminal{sc.x_um, sc.y_um, sc.tier, //
+                             static_cast<float>(lib.cell(sc.kind).input_cap_ff)});
+  }
+  const std::size_t n = terms.size();
+
+  // ---- driver-rooted spanning tree (Prim, Manhattan metric) ---------------
+  std::vector<int> parent(n, -1);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> in_tree(n, false);
+  best[0] = 0.0;
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t u = n;
+    double u_best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i)
+      if (!in_tree[i] && best[i] < u_best) {
+        u_best = best[i];
+        u = i;
+      }
+    if (u == n) break;
+    in_tree[u] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d = std::abs(terms[u].x - terms[v].x) + std::abs(terms[u].y - terms[v].y);
+      if (d < best[v]) {
+        best[v] = d;
+        parent[v] = static_cast<int>(u);
+      }
+    }
+  }
+
+  // ---- route each tree edge ------------------------------------------------
+  // Per-edge electrical results, used for Elmore afterwards.
+  std::vector<double> edge_res(n, 0.0), edge_cap(n, 0.0);
+
+  const double g = grid_.gcell_um();
+  const double penalty_w = options_.congestion_penalty_ps;
+
+  // Walks the two segments of an L-route and returns (sum congestion
+  // penalty, max overflow, gcell count). If `commit`, also adds usage.
+  auto walk = [&](int tier, int hlayer, int vlayer, int gx1, int gy1, int gx2, int gy2,
+                  bool do_commit, double* max_over) -> double {
+    double penalty = 0.0;
+    *max_over = 0.0;
+    auto visit = [&](int layer, int x, int y) {
+      const double cong = grid_.congestion(tier, layer, x, y);
+      penalty += penalty_w * cong * cong;
+      *max_over = std::max(*max_over, cong);
+      if (do_commit) grid_.add_usage(tier, layer, x, y, 1.0f);
+    };
+    const int xs = std::min(gx1, gx2), xe = std::max(gx1, gx2);
+    for (int x = xs; x <= xe; ++x) visit(hlayer, x, gy1);
+    const int ys = std::min(gy1, gy2), ye = std::max(gy1, gy2);
+    for (int y = ys; y <= ye; ++y) visit(vlayer, y == gy1 ? gx2 : gx2, y);
+    return penalty;
+  };
+
+  for (std::size_t v = 1; v < n; ++v) {
+    const int u = parent[v];
+    if (u < 0) continue;
+    const Terminal& a = terms[static_cast<std::size_t>(u)];
+    const Terminal& b = terms[v];
+    const double len = std::abs(a.x - b.x) + std::abs(a.y - b.y) + 0.5 * g;
+    const int gx1 = grid_.gx(a.x), gy1 = grid_.gy(a.y);
+    const int gx2 = grid_.gx(b.x), gy2 = grid_.gy(b.y);
+
+    const bool cross_tier = a.tier != b.tier;
+    const bool force_shared = mls && !cross_tier && len >= options_.min_mls_edge_um;
+
+    // Enumerate candidates.
+    std::vector<EdgeChoice> candidates;
+    auto consider = [&](int route_tier, int layer_lo, int f2f, bool shared) {
+      const tech::BeolStack& stack =
+          (route_tier == 0) ? tech_.beol_bottom : tech_.beol_top;
+      if (layer_lo + 1 >= stack.num_layers()) return;
+      EdgeChoice c;
+      c.route_tier = route_tier;
+      c.layer_lo = layer_lo;
+      c.f2f = f2f;
+      c.shared = shared;
+      // Split length across the pair by orientation.
+      const double len_h = std::abs(a.x - b.x) + 0.25 * g;
+      const double len_v = std::abs(a.y - b.y) + 0.25 * g;
+      const tech::MetalLayer& l0 = stack.layer(layer_lo);
+      const tech::MetalLayer& l1 = stack.layer(layer_lo + 1);
+      const tech::MetalLayer& lh = (l0.dir == tech::LayerDir::kHorizontal) ? l0 : l1;
+      const tech::MetalLayer& lv = (l0.dir == tech::LayerDir::kHorizontal) ? l1 : l0;
+      c.wl_um = len_h + len_v;
+      c.res_ohm = len_h * lh.r_ohm_per_um + len_v * lv.r_ohm_per_um;
+      c.cap_ff = len_h * lh.c_ff_per_um + len_v * lv.c_ff_per_um;
+      // Via stacks at both ends: from device level up to the pair.
+      const tech::BeolStack& a_stack = (a.tier == 0) ? tech_.beol_bottom : tech_.beol_top;
+      const tech::BeolStack& b_stack = (b.tier == 0) ? tech_.beol_bottom : tech_.beol_top;
+      int vias = 0;
+      double via_r = 0.0, via_c = 0.0;
+      auto add_stack = [&](const tech::BeolStack& s, int levels) {
+        vias += levels;
+        via_r += levels * s.via_r_ohm;
+        via_c += levels * s.via_c_ff;
+      };
+      if (f2f == 0) {
+        add_stack(stack, layer_lo + 1);
+        add_stack(stack, layer_lo + 1);
+      } else {
+        // Each endpoint that is NOT on the routing tier climbs its own full
+        // stack to the bond interface; endpoints on the routing tier climb
+        // to the routing pair. (F2F bonding joins the two top layers.)
+        const int to_pair = layer_lo + 1;
+        const int a_levels = (a.tier == route_tier) ? to_pair : a_stack.num_layers() - 1;
+        const int b_levels = (b.tier == route_tier) ? to_pair : b_stack.num_layers() - 1;
+        add_stack(a.tier == route_tier ? stack : a_stack, a_levels);
+        add_stack(b.tier == route_tier ? stack : b_stack, b_levels);
+        // Hop(s) down from the bond interface to the routing pair on the
+        // routing tier.
+        const int down = stack.num_layers() - 1 - (layer_lo + 1);
+        if (a.tier != route_tier || shared) add_stack(stack, std::max(down, 0));
+      }
+      c.res_ohm += via_r + f2f * tech_.f2f.r_ohm;
+      c.cap_ff += via_c + f2f * tech_.f2f.c_ff;
+      (void)vias;
+      // Congestion along the L.
+      const tech::MetalLayer* lo_is_h =
+          (l0.dir == tech::LayerDir::kHorizontal) ? &l0 : &l1;
+      const int hlayer = (lo_is_h == &l0) ? layer_lo : layer_lo + 1;
+      const int vlayer = (lo_is_h == &l0) ? layer_lo + 1 : layer_lo;
+      double max_over = 0.0;
+      const double penalty =
+          walk(route_tier, hlayer, vlayer, gx1, gy1, gx2, gy2, false, &max_over);
+      double f2f_penalty = 0.0;
+      if (f2f > 0) {
+        const double fc = grid_.f2f_congestion(gx1, gy1) + grid_.f2f_congestion(gx2, gy2);
+        f2f_penalty = penalty_w * 2.0 * fc * fc;
+      }
+      c.overflow = max_over;
+      // Cost: Elmore-ish delay estimate + congestion penalties. kOhm*fF = ps.
+      const double drive_r_kohm = 1.5;  // nominal comparator driver
+      c.cost_ps = 1e-3 * (drive_r_kohm * 1e3 * c.cap_ff + c.res_ohm * (c.cap_ff * 0.5 + 2.0)) +
+                  penalty + f2f_penalty;
+      candidates.push_back(c);
+    };
+
+    if (force_shared) {
+      // Targeted routing: the edge uses the other tier's shared layers —
+      // unless they are already full there, in which case a real router
+      // falls back to native metal rather than overflowing the bond pads.
+      const int other = a.tier == 0 ? 1 : 0;
+      const int top = grid_.num_layers(other) - 1;
+      for (int k = 0; k < options_.shared_layers; ++k) {
+        const int lo = top - 1 - k;
+        if (lo >= 1) consider(other, lo, 2, true);
+      }
+      bool shared_fits = false;
+      for (const EdgeChoice& c : candidates)
+        if (c.overflow < 1.0) shared_fits = true;
+      if (!shared_fits) {
+        candidates.clear();
+        const int nl_t = grid_.num_layers(a.tier);
+        for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
+      }
+    } else if (cross_tier) {
+      // Choose which tier carries the wire; one F2F either way.
+      for (int tier = 0; tier < 2; ++tier) {
+        const int nl_t = grid_.num_layers(tier);
+        for (int lo = 1; lo + 1 < nl_t; ++lo) consider(tier, lo, 1, false);
+      }
+    } else {
+      const int nl_t = grid_.num_layers(a.tier);
+      for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
+    }
+    if (candidates.empty()) continue;
+    const EdgeChoice& pick = *std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const EdgeChoice& x, const EdgeChoice& y) { return x.cost_ps < y.cost_ps; });
+
+    // Detour inflation when the chosen route is through overfull regions.
+    const double over = std::max(0.0, pick.overflow - 1.0);
+    const double detour = std::min(options_.max_detour, 1.0 + 0.5 * over);
+    const double res = pick.res_ohm * detour;
+    const double cap = pick.cap_ff * detour;
+
+    edge_res[v] = res;
+    edge_cap[v] = cap;
+    out.wl_um += static_cast<float>(pick.wl_um * detour);
+    out.res_ohm += static_cast<float>(res);
+    out.cap_ff += static_cast<float>(cap);
+    out.detour = std::max(out.detour, static_cast<float>(detour));
+    out.worst_overflow = std::max(out.worst_overflow, static_cast<float>(pick.overflow));
+    out.layers_used[pick.route_tier] |= static_cast<std::uint8_t>(0x3u << pick.layer_lo);
+    if (pick.f2f > 0) {
+      out.f2f_vias = static_cast<std::uint8_t>(
+          std::min<int>(255, out.f2f_vias + pick.f2f));
+      if (pick.shared) out.mls_applied = true;
+    }
+    if (commit) {
+      const tech::BeolStack& stack =
+          (pick.route_tier == 0) ? tech_.beol_bottom : tech_.beol_top;
+      const tech::MetalLayer& l0 = stack.layer(pick.layer_lo);
+      const int hlayer =
+          (l0.dir == tech::LayerDir::kHorizontal) ? pick.layer_lo : pick.layer_lo + 1;
+      const int vlayer =
+          (l0.dir == tech::LayerDir::kHorizontal) ? pick.layer_lo + 1 : pick.layer_lo;
+      double dummy = 0.0;
+      walk(pick.route_tier, hlayer, vlayer, gx1, gy1, gx2, gy2, true, &dummy);
+      if (pick.f2f > 0) {
+        grid_.add_f2f(gx1, gy1, 1.0f);
+        if (pick.f2f > 1) grid_.add_f2f(gx2, gy2, 1.0f);
+      }
+    }
+  }
+
+  // ---- Elmore delays --------------------------------------------------------
+  // cap_below[i] = capacitance of i's subtree (wire + pins), with each edge's
+  // own wire cap split half-and-half across its ends.
+  std::vector<double> cap_below(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) cap_below[i] = terms[i].pin_cap_ff;
+  // Children have larger indices than parents is NOT guaranteed by Prim's
+  // selection order, so accumulate leaf-to-root by repeated relaxation over
+  // the parent array (n is small per net).
+  {
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<int> depth(n, 0);
+    for (std::size_t i = 1; i < n; ++i) {
+      int d = 0;
+      for (int p = static_cast<int>(i); parent[static_cast<std::size_t>(p)] >= 0;
+           p = parent[static_cast<std::size_t>(p)])
+        ++d;
+      depth[i] = d;
+    }
+    std::sort(order.begin(), order.end(), [&](int x, int y) { return depth[static_cast<std::size_t>(x)] > depth[static_cast<std::size_t>(y)]; });
+    for (int i : order) {
+      const int p = parent[static_cast<std::size_t>(i)];
+      if (p < 0) continue;
+      cap_below[static_cast<std::size_t>(p)] +=
+          cap_below[static_cast<std::size_t>(i)] + edge_cap[static_cast<std::size_t>(i)];
+    }
+  }
+  // Elmore at node = sum over path edges of R_edge * (C_edge/2 + cap_below).
+  std::vector<double> elmore(n, 0.0);
+  {
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+      // Parents before children: root (parent -1) first, then by tree depth.
+      auto depth_of = [&](int v2) {
+        int d = 0;
+        for (int p = v2; parent[static_cast<std::size_t>(p)] >= 0;
+             p = parent[static_cast<std::size_t>(p)])
+          ++d;
+        return d;
+      };
+      return depth_of(x) < depth_of(y);
+    });
+    for (int i : order) {
+      const int p = parent[static_cast<std::size_t>(i)];
+      if (p < 0) continue;
+      const double r = edge_res[static_cast<std::size_t>(i)];
+      const double c = edge_cap[static_cast<std::size_t>(i)] * 0.5 +
+                       cap_below[static_cast<std::size_t>(i)];
+      elmore[static_cast<std::size_t>(i)] = elmore[static_cast<std::size_t>(p)] + 1e-3 * r * c;
+    }
+  }
+  for (std::size_t s = 0; s < net.sinks.size(); ++s)
+    out.sink_elmore_ps[s] = static_cast<float>(elmore[s + 1]);
+  out.load_ff = static_cast<float>(cap_below[0]);
+  return out;
+}
+
+RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
+  const netlist::Netlist& nl = design_.nl;
+  grid_.clear_usage();
+  routes_.assign(nl.num_nets(), NetRoute{});
+
+  // Order: MLS nets first (targeted routing reserves their shared tracks),
+  // longest first; then the rest, shortest first (locality preservation).
+  std::vector<Id> order(nl.num_nets());
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<float> hpwl(nl.num_nets());
+  for (Id i = 0; i < nl.num_nets(); ++i) hpwl[i] = static_cast<float>(nl.net_hpwl_um(i));
+  auto flagged = [&](Id i) {
+    return !mls_flags.empty() && i < mls_flags.size() && mls_flags[i] != 0;
+  };
+  std::sort(order.begin(), order.end(), [&](Id x, Id y) {
+    const bool fx = flagged(x), fy = flagged(y);
+    if (fx != fy) return fx;                     // MLS nets first
+    if (fx) return hpwl[x] > hpwl[y];            // long MLS first
+    return hpwl[x] < hpwl[y];                    // short native first
+  });
+
+  RouteSummary summary;
+  for (Id net : order) {
+    routes_[net] = route_net(net, flagged(net), /*commit=*/true);
+    summary.total_wl_m += routes_[net].wl_um * 1e-6;
+    if (routes_[net].mls_applied) ++summary.mls_nets;
+    summary.f2f_pairs += routes_[net].f2f_vias;
+  }
+  summary.census = grid_.census();
+  util::log_debug("router: WL ", summary.total_wl_m, " m, MLS nets ", summary.mls_nets,
+                  ", overflow gcells ", summary.census.overflow_gcells);
+  return summary;
+}
+
+NetRoute Router::trial_route(Id net, bool mls) const {
+  // route_net(commit=false) doesn't mutate; cast away const for code reuse.
+  return const_cast<Router*>(this)->route_net(net, mls, /*commit=*/false);
+}
+
+std::string Router::describe_layers(const NetRoute& r) {
+  auto mask_to_string = [](std::uint8_t mask) -> std::string {
+    if (mask == 0) return "";
+    int lo = -1, hi = -1;
+    for (int i = 0; i < 8; ++i)
+      if (mask & (1u << i)) {
+        if (lo < 0) lo = i;
+        hi = i;
+      }
+    // Wires always connect down to M1 at the pins on their home tier; report
+    // the contiguous span like the paper does ("M1-6").
+    if (lo == hi) return "M" + std::to_string(lo + 1);
+    return "M" + std::to_string(lo + 1) + "-" + std::to_string(hi + 1);
+  };
+  std::string bot = mask_to_string(r.layers_used[0]);
+  std::string top = mask_to_string(r.layers_used[1]);
+  std::string out;
+  if (!bot.empty()) out += bot + "(bot)";
+  if (!top.empty()) {
+    if (!out.empty()) out += "+";
+    out += top + "(top)";
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace gnnmls::route

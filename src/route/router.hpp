@@ -1,0 +1,105 @@
+// Congestion- and MLS-aware global router.
+//
+// For every net the router builds a driver-rooted spanning tree over the
+// pins, routes each tree edge as an L-shape on a chosen metal-layer pair, and
+// produces the net's electrical model (total load capacitance plus per-sink
+// Elmore delay) consumed by STA. Layer-pair selection is cost-driven:
+// wire RC delay + via-stack resistance + congestion penalty, so short nets
+// gravitate to thin lower metals and long nets to fat upper metals exactly
+// as in a commercial flow's layer assignment.
+//
+// Metal Layer Sharing (paper Figure 1) is implemented as *targeted routing*:
+// a net flagged for MLS has its long tree edges forced onto the top layer
+// pair of the OTHER tier, entering and leaving through F2F bond pads (two
+// extra vias of 0.5 Ohm / 0.2 fF plus the full via stack to the bond
+// interface). In the heterogeneous stack this trades the 16nm die's thin
+// metals for the 28nm die's fat ones — a large win for long nets and a loss
+// for short ones, which is precisely the selectivity the GNN learns.
+// Shared-layer tracks and F2F pads are finite, so indiscriminate MLS
+// (the SOTA baseline) collapses into overflow detours.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "route/grid.hpp"
+#include "tech/tech.hpp"
+
+namespace gnnmls::route {
+
+struct RouterOptions {
+  GridConfig grid;
+  // PDN reservation on each tier's top layer, set by the flow from the PDN
+  // design (paper Table IV: M-T utilization 14% MAERI / 30% A7).
+  double pdn_top_fraction[2] = {0.14, 0.14};
+  // Clock-tree + shielding reservation: top pair of each tier loses this
+  // fraction on top of the PDN straps (real stacks route CTS trunks there).
+  double cts_top_fraction = 0.30;
+  double cts_second_fraction = 0.22;
+  // Tree edges shorter than this stay native even on MLS nets (an F2F hop
+  // would dominate).
+  double min_mls_edge_um = 16.0;
+  // Congestion penalty weight (ps per gcell at 100% congestion).
+  double congestion_penalty_ps = 2.0;
+  // Detour growth: committed overflow inflates wirelength by up to this
+  // factor (maze-detour stand-in).
+  double max_detour = 2.5;
+  // How many of the other tier's top layers MLS may use (paper: M5-6).
+  int shared_layers = 2;
+};
+
+// Electrical + physical result for one routed net.
+struct NetRoute {
+  float wl_um = 0.0f;        // total routed wirelength (incl. detour)
+  float res_ohm = 0.0f;      // total wire+via resistance
+  float cap_ff = 0.0f;       // total wire+via+F2F capacitance (excl. pins)
+  float load_ff = 0.0f;      // cap_ff + sum of sink pin caps (driver load)
+  float detour = 1.0f;       // committed detour factor >= 1
+  std::uint8_t layers_used[2] = {0, 0};  // bitmask, bit i = layer Mi+1
+  std::uint8_t f2f_vias = 0;
+  bool mls_applied = false;  // net actually used shared layers
+  float worst_overflow = 0.0f;     // max usage/capacity along the route
+  std::vector<float> sink_elmore_ps;  // parallel to Net::sinks
+};
+
+struct RouteSummary {
+  double total_wl_m = 0.0;    // meters, as reported in Tables IV/V
+  std::size_t mls_nets = 0;   // nets routed with shared layers
+  std::size_t f2f_pairs = 0;  // F2F via count
+  RoutingGrid::Census census;
+};
+
+class Router {
+ public:
+  Router(const netlist::Design& design, const tech::Tech3D& tech,
+         const RouterOptions& options = {});
+
+  // Routes every net. mls_flags is per-net (empty = no MLS anywhere).
+  // Resets any previous routing state.
+  RouteSummary route_all(const std::vector<std::uint8_t>& mls_flags);
+
+  // What-if route of one net against the CURRENT congestion state, without
+  // committing resources. Used by the labeler's per-net MLS trials.
+  NetRoute trial_route(netlist::Id net, bool mls) const;
+
+  const NetRoute& net_route(netlist::Id net) const { return routes_[net]; }
+  const std::vector<NetRoute>& routes() const { return routes_; }
+  const RoutingGrid& grid() const { return grid_; }
+  const RouterOptions& options() const { return options_; }
+
+  // "M1-4(bot)+M6(top)" style rendering for Table I.
+  static std::string describe_layers(const NetRoute& r);
+
+ private:
+  NetRoute route_net(netlist::Id net, bool mls, bool commit);
+
+  const netlist::Design& design_;
+  const tech::Tech3D& tech_;
+  RouterOptions options_;
+  RoutingGrid grid_;
+  std::vector<NetRoute> routes_;
+};
+
+}  // namespace gnnmls::route

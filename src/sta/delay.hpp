@@ -1,0 +1,27 @@
+// Shared delay models.
+//
+// One linear-delay equation is used everywhere (STA propagation, the
+// labeler's what-if trials, DFT ECO checks) so that a net's "timing impact
+// of MLS" means the same thing to the oracle and to the sign-off run:
+//
+//   cell delay [ps] = intrinsic + drive_res [kOhm] * load [fF]
+//   wire delay [ps] = Elmore over the routed tree (computed by the router)
+#pragma once
+
+#include "tech/tech.hpp"
+
+namespace gnnmls::sta {
+
+inline double cell_delay_ps(const tech::CellType& type, double load_ff) {
+  return type.intrinsic_ps + type.drive_res_kohm * load_ff;
+}
+
+// Launch edge for sequential cells: clock-to-Q.
+inline double launch_ps(const tech::CellType& type) { return type.clk_to_q_ps; }
+
+// Capture requirement: data must settle setup before the next edge.
+inline double required_ps(double clock_ps, const tech::CellType& type) {
+  return clock_ps - type.setup_ps;
+}
+
+}  // namespace gnnmls::sta

@@ -1,0 +1,61 @@
+#include "sta/paths.hpp"
+
+#include <algorithm>
+
+namespace gnnmls::sta {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+using netlist::PinDir;
+}  // namespace
+
+std::vector<TimingPath> extract_paths(const TimingGraph& graph,
+                                      const PathExtractOptions& options) {
+  const netlist::Netlist& nl = graph.design().nl;
+
+  // Candidate endpoints, worst slack first.
+  std::vector<Id> endpoints;
+  for (Id p = 0; p < nl.num_pins(); ++p) {
+    if (!graph.is_endpoint(p)) continue;
+    const double slack = graph.slack_ps(p);
+    if (slack < 0.0 || (options.include_near_critical && slack <= options.margin_ps))
+      endpoints.push_back(p);
+  }
+  std::sort(endpoints.begin(), endpoints.end(),
+            [&](Id a, Id b) { return graph.slack_ps(a) < graph.slack_ps(b); });
+  if (static_cast<int>(endpoints.size()) > options.max_paths)
+    endpoints.resize(static_cast<std::size_t>(options.max_paths));
+
+  std::vector<TimingPath> paths;
+  paths.reserve(endpoints.size());
+  for (Id ep : endpoints) {
+    TimingPath path;
+    path.slack_ps = graph.slack_ps(ep);
+    path.endpoint_pin = ep;
+    // Backtrace: endpoint D pin -> net driver (output pin) -> cell input ->
+    // ... until a pin with no worst predecessor (a launch point).
+    Id cursor = ep;
+    Id last_out = kNullId;
+    // Bounded walk: a path can't be longer than the pin count.
+    for (std::size_t guard = 0; guard <= nl.num_pins(); ++guard) {
+      const Id prev = graph.worst_prev(cursor);
+      if (nl.pin(cursor).dir == PinDir::kOut) {
+        PathStage stage;
+        stage.out_pin = cursor;
+        stage.cell = nl.pin(cursor).cell;
+        stage.net = nl.pin(cursor).net;
+        path.stages.push_back(stage);
+        last_out = cursor;
+      }
+      if (prev == kNullId) break;
+      cursor = prev;
+    }
+    path.startpoint_pin = last_out != kNullId ? last_out : cursor;
+    std::reverse(path.stages.begin(), path.stages.end());
+    if (!path.stages.empty()) paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace gnnmls::sta

@@ -1,0 +1,47 @@
+// Critical-path extraction.
+//
+// GNN-MLS consumes *timing paths*: the startpoint -> combinational stages ->
+// endpoint chains whose slack MLS decisions try to maximize (paper Problem 1
+// and Figure 5). This module backtraces the worst arrival edge from each
+// endpoint after an STA run, producing one worst path per endpoint, ordered
+// by criticality.
+#pragma once
+
+#include <vector>
+
+#include "sta/graph.hpp"
+
+namespace gnnmls::sta {
+
+// One stage of a timing path: a driving cell together with the net it
+// drives. This is exactly the "hyperedge folded into its source node" view
+// the paper uses — the net-level MLS decision attaches to the stage's
+// output pin.
+struct PathStage {
+  netlist::Id out_pin = netlist::kNullId;  // the stage's output pin
+  netlist::Id cell = netlist::kNullId;
+  netlist::Id net = netlist::kNullId;      // net driven by out_pin (may be null)
+};
+
+struct TimingPath {
+  double slack_ps = 0.0;
+  netlist::Id endpoint_pin = netlist::kNullId;   // capture D pin / PO pin
+  netlist::Id startpoint_pin = netlist::kNullId; // launch Q pin / PI pin
+  std::vector<PathStage> stages;                 // launch -> ... -> last comb
+};
+
+struct PathExtractOptions {
+  int max_paths = 500;
+  // When true, also harvest near-critical passing endpoints (slack within
+  // `margin_ps` of 0) so training sees both labels; benches reporting
+  // violation counts use false.
+  bool include_near_critical = false;
+  double margin_ps = 60.0;
+};
+
+// Requires a prior TimingGraph::run(). Worst path per endpoint, most
+// critical endpoints first.
+std::vector<TimingPath> extract_paths(const TimingGraph& graph,
+                                      const PathExtractOptions& options = {});
+
+}  // namespace gnnmls::sta

@@ -1,0 +1,235 @@
+#include "tech/tech.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gnnmls::tech {
+
+std::string to_string(Node node) { return node == Node::kN28 ? "28nm" : "16nm"; }
+
+bool is_sequential(CellKind kind) {
+  return kind == CellKind::kDff || kind == CellKind::kScanDff;
+}
+
+bool is_combinational(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf:
+    case CellKind::kInv:
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kXor2:
+    case CellKind::kMux2:
+    case CellKind::kLevelShifter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int num_data_inputs(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput: return 0;
+    case CellKind::kOutput: return 1;
+    case CellKind::kBuf:
+    case CellKind::kInv:
+    case CellKind::kLevelShifter:
+    case CellKind::kDff: return 1;
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kXor2: return 2;
+    case CellKind::kMux2:
+    case CellKind::kScanDff: return 3;  // Mux2: A,B,S; ScanDff: D,SI,SE
+    case CellKind::kSramMacro: return 8;
+  }
+  return 0;
+}
+
+std::string to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput: return "INPUT";
+    case CellKind::kOutput: return "OUTPUT";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kInv: return "INV";
+    case CellKind::kAnd2: return "AND2";
+    case CellKind::kOr2: return "OR2";
+    case CellKind::kNand2: return "NAND2";
+    case CellKind::kNor2: return "NOR2";
+    case CellKind::kXor2: return "XOR2";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kDff: return "DFF";
+    case CellKind::kScanDff: return "SDFF";
+    case CellKind::kSramMacro: return "SRAM";
+    case CellKind::kLevelShifter: return "LVLSHIFT";
+  }
+  return "?";
+}
+
+BeolStack make_beol(Node node, int num_layers) {
+  if (num_layers < 3) throw std::invalid_argument("BEOL stack needs >= 3 layers");
+  BeolStack stack;
+  stack.node = node;
+  // 28nm wires are roughly 1.8x wider than 16nm at the same level, so their
+  // sheet resistance contribution per um is much lower. These per-um numbers
+  // follow the published order of magnitude for scaled copper BEOL: M1 at a
+  // few Ohm/um for 16nm, dropping by ~2x every thick step upward.
+  const double m1_r = (node == Node::kN16) ? 11.0 : 2.4;     // Ohm / um
+  const double m1_c = (node == Node::kN16) ? 0.21 : 0.19;   // fF / um
+  const double m1_pitch = (node == Node::kN16) ? 0.064 : 0.100;  // um
+  stack.via_r_ohm = (node == Node::kN16) ? 3.5 : 2.0;
+  stack.via_c_ff = 0.05;
+  for (int i = 0; i < num_layers; ++i) {
+    MetalLayer layer;
+    layer.name = "M" + std::to_string(i + 1);
+    layer.dir = (i % 2 == 0) ? LayerDir::kHorizontal : LayerDir::kVertical;
+    // Geometric widening going up the stack; top two layers are extra thick
+    // ("fat wires" used for clocks/power in real stacks). A 28nm process
+    // tops out in genuinely fat metal; a 16nm die with the same layer count
+    // keeps its top metals much narrower — which is why borrowing the
+    // memory die's 28nm top metals (MLS) is such a good deal for long 16nm
+    // logic nets.
+    const double fat = (node == Node::kN16) ? 1.48 : 1.75;
+    const double grow = (i >= num_layers - 2) ? std::pow(fat, i) : std::pow(1.32, i);
+    layer.pitch_um = m1_pitch * grow;
+    layer.width_um = layer.pitch_um * 0.5;
+    layer.r_ohm_per_um = m1_r / grow;
+    // Capacitance per um is nearly constant across layers (wider wire, but
+    // larger spacing); slight decrease upward.
+    layer.c_ff_per_um = m1_c / std::pow(1.04, i);
+    stack.layers.push_back(layer);
+  }
+  return stack;
+}
+
+namespace {
+
+CellType make_cell(CellKind kind, Node node) {
+  CellType c;
+  c.kind = kind;
+  c.name = to_string(kind) + "_" + (node == Node::kN16 ? std::string("16") : std::string("28"));
+  // 16nm gates are faster, smaller, lower-cap than 28nm. Scale factors follow
+  // classic Dennard-ish ratios between the two nodes.
+  const double dly = (node == Node::kN16) ? 0.62 : 1.0;   // delay scale
+  const double cap = (node == Node::kN16) ? 0.60 : 1.0;   // input cap scale
+  const double area = (node == Node::kN16) ? 0.42 : 1.0;  // area scale
+  switch (kind) {
+    case CellKind::kInput:
+      c.intrinsic_ps = 0.0; c.drive_res_kohm = 0.2; c.input_cap_ff = 0.0;
+      c.output_cap_ff = 0.0; c.area_um2 = 0.0; c.leakage_uw = 0.0;
+      break;
+    case CellKind::kOutput:
+      c.intrinsic_ps = 0.0; c.drive_res_kohm = 0.0; c.input_cap_ff = 2.0 * cap;
+      c.output_cap_ff = 0.0; c.area_um2 = 0.0; c.leakage_uw = 0.0;
+      break;
+    case CellKind::kBuf:
+      // Sized as a strong (X4-class) driver: buffers in this library exist
+      // for fanout trees and wire repeaters, both load-heavy duties.
+      c.intrinsic_ps = 14.0 * dly; c.drive_res_kohm = 0.95 * dly; c.input_cap_ff = 1.8 * cap;
+      c.area_um2 = 2.0 * area; c.leakage_uw = 0.020;
+      break;
+    case CellKind::kInv:
+      c.intrinsic_ps = 9.0 * dly; c.drive_res_kohm = 0.75 * dly; c.input_cap_ff = 1.4 * cap;
+      c.area_um2 = 0.8 * area; c.leakage_uw = 0.008;
+      break;
+    case CellKind::kAnd2:
+      c.intrinsic_ps = 18.0 * dly; c.drive_res_kohm = 0.90 * dly; c.input_cap_ff = 1.55 * cap;
+      c.area_um2 = 1.6 * area; c.leakage_uw = 0.016;
+      break;
+    case CellKind::kOr2:
+      c.intrinsic_ps = 19.0 * dly; c.drive_res_kohm = 0.95 * dly; c.input_cap_ff = 1.55 * cap;
+      c.area_um2 = 1.6 * area; c.leakage_uw = 0.016;
+      break;
+    case CellKind::kNand2:
+      c.intrinsic_ps = 12.0 * dly; c.drive_res_kohm = 0.85 * dly; c.input_cap_ff = 1.55 * cap;
+      c.area_um2 = 1.2 * area; c.leakage_uw = 0.012;
+      break;
+    case CellKind::kNor2:
+      c.intrinsic_ps = 13.0 * dly; c.drive_res_kohm = 1.00 * dly; c.input_cap_ff = 1.55 * cap;
+      c.area_um2 = 1.2 * area; c.leakage_uw = 0.012;
+      break;
+    case CellKind::kXor2:
+      c.intrinsic_ps = 26.0 * dly; c.drive_res_kohm = 1.05 * dly; c.input_cap_ff = 2.1 * cap;
+      c.area_um2 = 2.4 * area; c.leakage_uw = 0.024;
+      break;
+    case CellKind::kMux2:
+      c.intrinsic_ps = 22.0 * dly; c.drive_res_kohm = 0.95 * dly; c.input_cap_ff = 1.8 * cap;
+      c.area_um2 = 2.2 * area; c.leakage_uw = 0.022;
+      break;
+    case CellKind::kDff:
+      c.intrinsic_ps = 0.0; c.drive_res_kohm = 0.80 * dly; c.input_cap_ff = 1.9 * cap;
+      c.area_um2 = 4.5 * area; c.leakage_uw = 0.045;
+      c.setup_ps = 28.0 * dly; c.clk_to_q_ps = 52.0 * dly;
+      break;
+    case CellKind::kScanDff:
+      c.intrinsic_ps = 0.0; c.drive_res_kohm = 0.80 * dly; c.input_cap_ff = 2.0 * cap;
+      c.area_um2 = 5.6 * area; c.leakage_uw = 0.056;
+      c.setup_ps = 30.0 * dly; c.clk_to_q_ps = 55.0 * dly;
+      break;
+    case CellKind::kSramMacro:
+      // A small SRAM bank: slow access, big load, big area. Access time is
+      // the dominant node-dependent term.
+      c.intrinsic_ps = 248.0 * ((node == Node::kN16) ? 0.72 : 1.0);
+      c.drive_res_kohm = 0.6 * dly; c.input_cap_ff = 3.0 * cap;
+      c.output_cap_ff = 4.0; c.area_um2 = 5200.0 * area; c.leakage_uw = 8.0;
+      c.setup_ps = 45.0 * dly; c.clk_to_q_ps = 248.0 * ((node == Node::kN16) ? 0.72 : 1.0);
+      break;
+    case CellKind::kLevelShifter:
+      c.intrinsic_ps = 24.0 * dly; c.drive_res_kohm = 0.8 * dly; c.input_cap_ff = 1.6 * cap;
+      c.area_um2 = 3.1 * area; c.leakage_uw = 0.35;  // LS cells leak more
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+Library Library::make(Node node) {
+  Library lib;
+  lib.node_ = node;
+  // Paper Section III-E: 28nm domains run at 0.9V, the 16nm logic sub-domain
+  // at 0.81V.
+  lib.vdd_ = (node == Node::kN16) ? 0.81 : 0.9;
+  lib.index_.fill(-1);
+  const CellKind kinds[] = {
+      CellKind::kInput, CellKind::kOutput, CellKind::kBuf, CellKind::kInv,
+      CellKind::kAnd2, CellKind::kOr2, CellKind::kNand2, CellKind::kNor2,
+      CellKind::kXor2, CellKind::kMux2, CellKind::kDff, CellKind::kScanDff,
+      CellKind::kSramMacro, CellKind::kLevelShifter,
+  };
+  for (CellKind k : kinds) {
+    lib.index_[static_cast<std::size_t>(k)] = static_cast<int>(lib.cells_.size());
+    lib.cells_.push_back(make_cell(k, node));
+  }
+  return lib;
+}
+
+const CellType& Library::cell(CellKind kind) const {
+  const int idx = index_[static_cast<std::size_t>(kind)];
+  if (idx < 0) throw std::out_of_range("cell kind not in library");
+  return cells_[static_cast<std::size_t>(idx)];
+}
+
+Tech3D make_hetero_tech(int beol_layers_per_die) {
+  Tech3D t;
+  t.bottom = Library::make(Node::kN16);
+  t.top = Library::make(Node::kN28);
+  t.beol_bottom = make_beol(Node::kN16, beol_layers_per_die);
+  t.beol_top = make_beol(Node::kN28, beol_layers_per_die);
+  t.heterogeneous = true;
+  return t;
+}
+
+Tech3D make_homo_tech(int beol_layers_per_die) {
+  Tech3D t;
+  t.bottom = Library::make(Node::kN28);
+  t.top = Library::make(Node::kN28);
+  t.beol_bottom = make_beol(Node::kN28, beol_layers_per_die);
+  t.beol_top = make_beol(Node::kN28, beol_layers_per_die);
+  t.heterogeneous = false;
+  return t;
+}
+
+}  // namespace gnnmls::tech

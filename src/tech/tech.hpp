@@ -1,0 +1,147 @@
+// Technology models for mixed-node 3D integration.
+//
+// The paper evaluates two stacking configurations (Table IV/V):
+//   * heterogeneous: TSMC 16nm logic die + 28nm memory die, BEOL 6+6 (MAERI)
+//     or 8+8 (A7), F2F hybrid bonding (via 0.5um size, 1.0um pitch, 0.5 Ohm,
+//     0.2 fF);
+//   * homogeneous: 28nm on 28nm.
+// We cannot ship TSMC data, so this module provides self-consistent
+// parameterized equivalents: per-layer resistance/capacitance that follow the
+// usual thin-lower/thick-upper BEOL progression, and a small standard-cell +
+// SRAM-macro library whose delays scale with node. The MLS trade-off the
+// paper exploits — crossing to the other tier's metals costs two F2F vias
+// but buys thicker, emptier wires — is preserved by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnnmls::tech {
+
+enum class Node : std::uint8_t { kN28 = 0, kN16 = 1 };
+
+std::string to_string(Node node);
+
+// Preferred routing direction alternates by layer, as in real BEOL stacks.
+enum class LayerDir : std::uint8_t { kHorizontal, kVertical };
+
+struct MetalLayer {
+  std::string name;        // "M1".."M8"
+  LayerDir dir = LayerDir::kHorizontal;
+  double pitch_um = 0.1;   // track pitch
+  double width_um = 0.05;  // default wire width
+  double r_ohm_per_um = 1.0;
+  double c_ff_per_um = 0.2;
+};
+
+// One die's back-end-of-line stack.
+struct BeolStack {
+  Node node = Node::kN28;
+  std::vector<MetalLayer> layers;  // index 0 = M1 (closest to devices)
+  double via_r_ohm = 2.0;          // inter-layer via resistance (per cut)
+  double via_c_ff = 0.05;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+  const MetalLayer& layer(int i) const { return layers.at(static_cast<std::size_t>(i)); }
+  int top() const { return num_layers() - 1; }
+};
+
+// Builds an n-layer stack for a node. Lower layers are fine-pitch and
+// resistive; the top two layers are thick "fat wires". 28nm metals are
+// wider/lower-R than 16nm metals at the same index, which is what makes
+// sharing the 28nm memory-die stack attractive for 16nm logic nets.
+BeolStack make_beol(Node node, int num_layers);
+
+// Face-to-face hybrid bond via (paper Section IV-A).
+struct F2FVia {
+  double size_um = 0.5;
+  double pitch_um = 1.0;
+  double r_ohm = 0.5;
+  double c_ff = 0.2;
+};
+
+// Functional kinds drive delay/area models, fault-simulation semantics, and
+// DFT handling. SRAM macros are black boxes for fault simulation (BIST
+// territory) but contribute load, delay, and power.
+enum class CellKind : std::uint8_t {
+  kInput,        // primary input port pseudo-cell
+  kOutput,       // primary output port pseudo-cell
+  kBuf,
+  kInv,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kMux2,         // inputs: A, B, S
+  kDff,          // inputs: D (clock implicit); output Q
+  kScanDff,      // inputs: D, SI, SE; output Q
+  kSramMacro,    // memory macro: address/data pins modeled as generic in/out
+  kLevelShifter, // 1-in 1-out voltage crossing cell
+};
+
+bool is_sequential(CellKind kind);
+bool is_combinational(CellKind kind);
+int num_data_inputs(CellKind kind);
+std::string to_string(CellKind kind);
+
+// Library cell. Delay model: d = intrinsic_ps + drive_res_kohm * load_ff
+// (a one-segment linear delay model; kOhm * fF = ps).
+struct CellType {
+  CellKind kind = CellKind::kBuf;
+  std::string name;
+  double intrinsic_ps = 10.0;
+  double drive_res_kohm = 2.0;
+  double input_cap_ff = 1.0;     // per input pin
+  double output_cap_ff = 0.5;    // driver pin parasitic
+  double area_um2 = 1.0;
+  double leakage_uw = 0.01;
+  double setup_ps = 20.0;        // sequential only
+  double clk_to_q_ps = 50.0;     // sequential only
+};
+
+// Per-die library: the cell set for one node, plus supply voltage.
+class Library {
+ public:
+  static Library make(Node node);
+
+  Node node() const { return node_; }
+  double vdd() const { return vdd_; }
+
+  const CellType& cell(CellKind kind) const;
+
+  // All kinds present in the library, for iteration in tests.
+  const std::vector<CellType>& cells() const { return cells_; }
+
+ private:
+  Node node_ = Node::kN28;
+  double vdd_ = 0.9;
+  std::vector<CellType> cells_;
+  std::array<int, 16> index_{};  // CellKind -> cells_ index
+};
+
+// Full two-tier technology description used by the flow.
+struct Tech3D {
+  Library bottom;       // logic die
+  Library top;          // memory die
+  BeolStack beol_bottom;
+  BeolStack beol_top;
+  F2FVia f2f;
+  bool heterogeneous = false;  // true when bottom/top nodes differ
+
+  // Paper Section III-E power domains: top level 0.9V, logic sub-domain at
+  // 0.81V in the heterogeneous configuration.
+  double vdd_top() const { return top.vdd(); }
+  double vdd_bottom() const { return bottom.vdd(); }
+  double vdd_min() const { return heterogeneous ? 0.81 : 0.9; }
+};
+
+// Named configurations from the paper.
+// hetero: 16nm logic (bottom) + 28nm memory (top).
+Tech3D make_hetero_tech(int beol_layers_per_die);
+// homo: 28nm + 28nm.
+Tech3D make_homo_tech(int beol_layers_per_die);
+
+}  // namespace gnnmls::tech

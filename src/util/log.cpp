@@ -1,0 +1,28 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace gnnmls::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s\n", tag(level), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace gnnmls::util

@@ -1,0 +1,50 @@
+// Minimal leveled logging used across the library.
+//
+// The flow drivers and training loops log progress at Info; verbose internals
+// (router overflow iterations, per-epoch losses) log at Debug. Benches set
+// the level to Warn so table output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gnnmls::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Emits one line to stderr with a level tag. Thread-compatible (benches and
+// flows are single-threaded; tests may run in parallel processes).
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) log_line(LogLevel::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) log_line(LogLevel::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) log_line(LogLevel::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError) log_line(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace gnnmls::util

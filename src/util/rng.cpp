@@ -1,0 +1,5 @@
+#include "util/rng.hpp"
+
+// Header-only implementation; this TU exists so the build exercises the
+// header under the project's warning flags.
+namespace gnnmls::util {}

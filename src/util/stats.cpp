@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnmls::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(ss / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+BinaryMetrics binary_metrics(std::span<const double> probs, std::span<const int> labels,
+                             double threshold) {
+  BinaryMetrics m;
+  const std::size_t n = std::min(probs.size(), labels.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pred = probs[i] >= threshold;
+    const bool truth = labels[i] != 0;
+    if (pred && truth) ++m.tp;
+    else if (pred && !truth) ++m.fp;
+    else if (!pred && truth) ++m.fn;
+    else ++m.tn;
+  }
+  const std::size_t total = m.tp + m.fp + m.tn + m.fn;
+  if (total == 0) return m;
+  m.accuracy = static_cast<double>(m.tp + m.tn) / static_cast<double>(total);
+  m.precision = (m.tp + m.fp) ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fp) : 0.0;
+  m.recall = (m.tp + m.fn) ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fn) : 0.0;
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace gnnmls::util

@@ -1,0 +1,41 @@
+// Small descriptive-statistics helpers used by the ML training loop
+// (feature normalization), the labeler (noise-floor estimation), and the
+// benches (summary rows).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gnnmls::util {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// p in [0,1]; linear interpolation between order statistics. Empty input
+// returns 0.
+double percentile(std::vector<double> xs, double p);
+
+// Pearson correlation; returns 0 when either side is constant.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+// Binary-classification metrics at threshold 0.5 over probabilities.
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+};
+
+BinaryMetrics binary_metrics(std::span<const double> probs, std::span<const int> labels,
+                             double threshold = 0.5);
+
+}  // namespace gnnmls::util

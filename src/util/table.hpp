@@ -1,0 +1,41 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper; Table
+// formats the measured rows next to the paper-reported values in aligned
+// monospace columns so EXPERIMENTS.md can quote the output verbatim.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gnnmls::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column alignment, a header underline, and '|' separators.
+  std::string render() const;
+
+  // Convenience: renders straight to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers shared by benches: fixed decimals, thousands
+// separators for count-like values, and percent deltas.
+std::string fmt_fixed(double v, int decimals);
+std::string fmt_count(long long v);
+std::string fmt_pct(double fraction, int decimals = 1);
+std::string fmt_si(double v, int decimals = 2);  // 12300 -> "12.3K"
+
+}  // namespace gnnmls::util

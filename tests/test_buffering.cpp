@@ -1,0 +1,132 @@
+// Tests for fanout-tree and repeater insertion.
+#include <gtest/gtest.h>
+
+#include "netlist/buffering.hpp"
+#include "netlist/generators.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::netlist;
+using tech::CellKind;
+
+// Builds a single driver with `fanout` sinks at the given positions.
+Netlist star_net(int fanout, float spacing) {
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInput, 0, 0.0f, 0.0f);
+  for (int i = 0; i < fanout; ++i) {
+    const Id sink = nl.add_cell(CellKind::kBuf, 0, spacing * static_cast<float>(i + 1), 0.0f);
+    nl.connect(drv, 0, sink, 0);
+  }
+  return nl;
+}
+
+TEST(Buffering, SplitsHighFanout) {
+  Netlist nl = star_net(100, 1.0f);
+  BufferingOptions opt;
+  opt.max_fanout = 8;
+  const BufferingReport report = insert_buffer_trees(nl, opt);
+  EXPECT_GT(report.buffers_added, 0u);
+  EXPECT_EQ(report.nets_split, 1u);
+  for (Id n = 0; n < nl.num_nets(); ++n)
+    EXPECT_LE(nl.net(n).sinks.size(), 8u) << "net " << n;
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Buffering, LeavesSmallNetsAlone) {
+  Netlist nl = star_net(4, 2.0f);
+  const std::size_t cells_before = nl.num_cells();
+  insert_buffer_trees(nl);
+  EXPECT_EQ(nl.num_cells(), cells_before);
+}
+
+TEST(Buffering, SplitsWideSpanEvenAtLowFanout) {
+  // 3 sinks, each 350 um apart: fanout fine, span not.
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInput, 0, 0.0f, 0.0f);
+  for (int i = 0; i < 3; ++i) {
+    const Id sink = nl.add_cell(CellKind::kBuf, 0, 350.0f * static_cast<float>(i), 0.0f);
+    nl.connect(drv, 0, sink, 0);
+  }
+  BufferingOptions opt;
+  opt.max_chunk_span_um = 300.0;
+  opt.max_unbuffered_um = 0.0;  // isolate the span rule
+  const BufferingReport report = insert_buffer_trees(nl, opt);
+  EXPECT_GT(report.buffers_added, 0u);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Buffering, RepeatersBoundSinkDistance) {
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInput, 0, 0.0f, 0.0f);
+  const Id sink = nl.add_cell(CellKind::kBuf, 0, 1500.0f, 0.0f);
+  nl.connect(drv, 0, sink, 0);
+  BufferingOptions opt;
+  opt.max_unbuffered_um = 400.0;
+  const BufferingReport report = insert_buffer_trees(nl, opt);
+  EXPECT_GE(report.repeaters_added, 3u);  // 1500 / 400 ~ 4 hops
+  // Every net's sinks are now within the pitch of their driver.
+  for (Id n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver == kNullId) continue;
+    const CellInst& d = nl.cell(nl.pin(net.driver).cell);
+    for (Id sp : net.sinks) {
+      const CellInst& c = nl.cell(nl.pin(sp).cell);
+      EXPECT_LE(std::abs(c.x_um - d.x_um) + std::abs(c.y_um - d.y_um), 400.0f + 1.0f);
+    }
+  }
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(Buffering, RepeatersHandleOpposingSinks) {
+  // Sinks in opposite directions used to hang the naive centroid walk.
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInput, 0, 0.0f, 0.0f);
+  const Id east = nl.add_cell(CellKind::kBuf, 0, 900.0f, 0.0f);
+  const Id west = nl.add_cell(CellKind::kBuf, 0, -900.0f, 0.0f);
+  const Id net = nl.connect(drv, 0, east, 0);
+  nl.add_sink(net, nl.input_pin(west, 0));
+  BufferingOptions opt;
+  opt.max_unbuffered_um = 300.0;
+  insert_buffer_trees(nl, opt);
+  EXPECT_TRUE(nl.validate().empty());
+  EXPECT_LT(nl.num_cells(), 40u);  // terminated, no runaway insertion
+}
+
+TEST(Buffering, RepeatersOnlyPassIsIdempotentish) {
+  Design d = make_maeri_16pe();
+  insert_buffer_trees(d.nl);
+  const std::size_t after_first = d.nl.num_cells();
+  insert_repeaters_only(d.nl, 400.0);
+  // A second pass may add a handful (span rule on rebuilt nets) but must
+  // not explode.
+  EXPECT_LT(d.nl.num_cells(), after_first + after_first / 10);
+  EXPECT_TRUE(d.nl.validate().empty());
+}
+
+TEST(Buffering, BenchmarkFanoutsBounded) {
+  Design d = make_maeri_16pe();
+  BufferingOptions opt;
+  opt.max_fanout = 8;
+  insert_buffer_trees(d.nl, opt);
+  for (Id n = 0; n < d.nl.num_nets(); ++n)
+    EXPECT_LE(d.nl.net(n).sinks.size(), 8u);
+  EXPECT_TRUE(d.nl.validate().empty());
+}
+
+TEST(Buffering, BuffersPlacedOnMajoritySinkTier) {
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInv, 0, 0.0f, 0.0f);
+  for (int i = 0; i < 20; ++i) {
+    const Id sink = nl.add_cell(CellKind::kBuf, 1, 5.0f * static_cast<float>(i), 10.0f);
+    nl.connect(drv, 0, sink, 0);
+  }
+  const std::size_t before = nl.num_cells();
+  insert_buffer_trees(nl);
+  bool any_top_buffer = false;
+  for (Id c = static_cast<Id>(before); c < nl.num_cells(); ++c)
+    if (nl.cell(c).kind == CellKind::kBuf && nl.cell(c).tier == 1) any_top_buffer = true;
+  EXPECT_TRUE(any_top_buffer);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the DFT subsystem: logic/fault simulation, scan insertion, and
+// the two MLS DFT styles' structural and coverage properties.
+#include <gtest/gtest.h>
+
+#include "dft/dft_mls.hpp"
+#include "dft/faults.hpp"
+#include "dft/scan.hpp"
+#include "netlist/buffering.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::netlist;
+using namespace gnnmls::dft;
+using tech::CellKind;
+
+// PI -> XOR(PI, PI) -> DFF: fully testable tiny circuit.
+TEST(FaultSim, FullyTestableXor) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInput, 0);
+  const Id b = nl.add_cell(CellKind::kInput, 0);
+  const Id x = nl.add_cell(CellKind::kXor2, 0);
+  const Id ff = nl.add_cell(CellKind::kDff, 0);
+  nl.connect(a, 0, x, 0);
+  nl.connect(b, 0, x, 1);
+  nl.connect(x, 0, ff, 0);
+  FaultSimulator sim(nl, TestModel{});
+  const FaultSimResult r = sim.run();
+  // XOR pins (3) + DFF pins D,Q -> Q unconnected so no fault site there.
+  EXPECT_EQ(r.total_faults, 2u * (3u + 1u));
+  EXPECT_EQ(r.detected, r.total_faults);  // XOR propagates everything
+}
+
+TEST(FaultSim, BlockedGateLimitsDetection) {
+  // AND gate with one input tied to a constant-0 net (open) is untestable
+  // on the other input.
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInput, 0);
+  const Id b = nl.add_cell(CellKind::kInput, 0);
+  const Id g = nl.add_cell(CellKind::kAnd2, 0);
+  const Id ff = nl.add_cell(CellKind::kDff, 0);
+  nl.connect(a, 0, g, 0);
+  const Id blocked_net = nl.connect(b, 0, g, 1);
+  nl.connect(g, 0, ff, 0);
+  TestModel model;
+  model.open_nets.push_back(blocked_net);
+  FaultSimulator sim(nl, model);
+  const FaultSimResult r = sim.run();
+  // With input 1 stuck at the open's constant 0, the AND output is 0:
+  // stuck-0 faults become unobservable.
+  EXPECT_LT(r.detected, r.total_faults);
+}
+
+TEST(FaultSim, GoodSimMatchesLogic) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInput, 0);
+  const Id inv = nl.add_cell(CellKind::kInv, 0);
+  const Id ff = nl.add_cell(CellKind::kDff, 0);
+  nl.connect(a, 0, inv, 0);
+  nl.connect(inv, 0, ff, 0);
+  FaultSimulator sim(nl, TestModel{});
+  sim.run();
+  const auto src = sim.good_value(nl.output_pin(a, 0), 0);
+  const auto out = sim.good_value(nl.output_pin(inv, 0), 0);
+  EXPECT_EQ(out, ~src);
+}
+
+TEST(FaultSim, UntestableListRespected) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInput, 0);
+  const Id inv = nl.add_cell(CellKind::kInv, 0);
+  const Id ff = nl.add_cell(CellKind::kDff, 0);
+  nl.connect(a, 0, inv, 0);
+  nl.connect(inv, 0, ff, 0);
+  TestModel model;
+  model.untestable_pin_faults.push_back({nl.input_pin(inv, 0), false});
+  model.untestable_pin_faults.push_back({nl.input_pin(inv, 0), true});
+  FaultSimulator with(nl, model);
+  FaultSimulator without(nl, TestModel{});
+  EXPECT_EQ(with.run().detected + 2, without.run().detected);
+}
+
+TEST(Scan, ReplacesAllDffs) {
+  Design d = make_maeri_16pe();
+  const std::size_t ffs_before = d.nl.stats().sequential;
+  const ScanReport report = insert_full_scan(d.nl);
+  EXPECT_EQ(report.flops_replaced, ffs_before);
+  EXPECT_TRUE(d.nl.validate().empty());
+  // No connected plain DFFs remain.
+  for (Id c = 0; c < d.nl.num_cells(); ++c) {
+    if (d.nl.cell(c).kind == CellKind::kDff) {
+      EXPECT_TRUE(d.nl.is_orphan(c));
+    }
+  }
+}
+
+TEST(Scan, PreservesFunctionalConnectivity) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInput, 0);
+  const Id ff = nl.add_cell(CellKind::kDff, 0, 5.0f, 6.0f);
+  const Id buf = nl.add_cell(CellKind::kBuf, 0);
+  const Id d_net = nl.connect(a, 0, ff, 0);
+  const Id q_net = nl.connect(ff, 0, buf, 0);
+  insert_full_scan(nl);
+  // The nets survived; their endpoints moved to the scan flop.
+  const Id drv_cell = nl.pin(nl.net(q_net).driver).cell;
+  EXPECT_EQ(nl.cell(drv_cell).kind, CellKind::kScanDff);
+  EXPECT_FLOAT_EQ(nl.cell(drv_cell).x_um, 5.0f);
+  const Id sink_cell = nl.pin(nl.net(d_net).sinks[0]).cell;
+  EXPECT_EQ(nl.cell(sink_cell).kind, CellKind::kScanDff);
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+struct DftFixture : ::testing::Test {
+  void SetUp() override {
+    d = make_maeri_16pe();
+    tech3d = tech::make_hetero_tech(d.info.beol_layers);
+    insert_buffer_trees(d.nl);
+    place::place(d, tech3d);
+    router = std::make_unique<route::Router>(d, tech3d);
+    // Force some MLS nets.
+    std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+    for (Id n = 0; n < d.nl.num_nets(); ++n) {
+      const auto& net = d.nl.net(n);
+      if (net.driver == kNullId || net.sinks.empty() || d.nl.is_3d_net(n)) continue;
+      if (d.nl.net_hpwl_um(n) > 150.0) flags[n] = 1;
+    }
+    summary = router->route_all(flags);
+  }
+  Design d;
+  tech::Tech3D tech3d;
+  std::unique_ptr<route::Router> router;
+  route::RouteSummary summary;
+};
+
+TEST_F(DftFixture, NetBasedInsertionStructure) {
+  ASSERT_GT(summary.mls_nets, 0u);
+  const MlsDftReport report = insert_mls_dft(d.nl, router->routes(), MlsDftStyle::kNetBased);
+  EXPECT_EQ(report.mls_nets, summary.mls_nets);
+  EXPECT_EQ(report.test_model.open_nets.size(), summary.mls_nets);
+  EXPECT_EQ(report.test_model.observe_pins.size(), summary.mls_nets);
+  // Net-based marks the floating mux input untestable (2 faults per net).
+  EXPECT_EQ(report.test_model.untestable_pin_faults.size(), 2 * summary.mls_nets);
+  EXPECT_TRUE(d.nl.validate().empty());
+}
+
+TEST_F(DftFixture, WireBasedAddsMoreCells) {
+  Design d2 = d;  // copy before mutation
+  const MlsDftReport net_based = insert_mls_dft(d.nl, router->routes(), MlsDftStyle::kNetBased);
+  const MlsDftReport wire_based =
+      insert_mls_dft(d2.nl, router->routes(), MlsDftStyle::kWireBased);
+  EXPECT_GT(wire_based.cells_added, net_based.cells_added);
+  EXPECT_TRUE(d2.nl.validate().empty());
+}
+
+TEST_F(DftFixture, WireBasedDetectsMoreFaults) {
+  // Table III shape: wire-based has more total faults AND more detected.
+  Design dn = d;
+  Design dw = d;
+  const MlsDftReport rn = insert_mls_dft(dn.nl, router->routes(), MlsDftStyle::kNetBased);
+  const MlsDftReport rw = insert_mls_dft(dw.nl, router->routes(), MlsDftStyle::kWireBased);
+  FaultSimulator sn(dn.nl, rn.test_model);
+  FaultSimulator sw(dw.nl, rw.test_model);
+  const FaultSimResult fn = sn.run();
+  const FaultSimResult fw = sw.run();
+  EXPECT_GT(fw.total_faults, fn.total_faults);
+  EXPECT_GT(fw.detected, fn.detected);
+  EXPECT_GT(fn.coverage(), 0.85);
+}
+
+TEST_F(DftFixture, CoverageOnFullScanDesignIsHigh) {
+  insert_full_scan(d.nl);
+  const MlsDftReport report = insert_mls_dft(d.nl, router->routes(), MlsDftStyle::kWireBased);
+  FaultSimulator sim(d.nl, report.test_model);
+  const FaultSimResult r = sim.run();
+  EXPECT_GT(r.coverage(), 0.88);  // paper reports ~97-98% with commercial ATPG
+  EXPECT_GT(r.total_faults, 10000u);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Tests for tier management: crossing census and level-shifter insertion.
+#include <gtest/gtest.h>
+
+#include "floorplan/tier.hpp"
+#include "netlist/generators.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::netlist;
+using tech::CellKind;
+
+TEST(Crossings, CountsDirections) {
+  Netlist nl;
+  const Id bot = nl.add_cell(CellKind::kInv, 0);
+  const Id top = nl.add_cell(CellKind::kBuf, 1);
+  const Id top2 = nl.add_cell(CellKind::kInv, 1);
+  const Id bot2 = nl.add_cell(CellKind::kBuf, 0);
+  nl.connect(bot, 0, top, 0);    // up
+  nl.connect(top2, 0, bot2, 0);  // down
+  const auto s = floorplan::count_crossings(nl);
+  EXPECT_EQ(s.nets_3d, 2u);
+  EXPECT_EQ(s.crossings, 2u);
+  EXPECT_EQ(s.up, 1u);
+  EXPECT_EQ(s.down, 1u);
+}
+
+TEST(Crossings, SharedLandingCountsOnce) {
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInv, 0);
+  const Id net = nl.connect(drv, 0, nl.add_cell(CellKind::kBuf, 1), 0);
+  nl.add_sink(net, nl.input_pin(nl.add_cell(CellKind::kBuf, 1), 0));
+  const auto s = floorplan::count_crossings(nl);
+  EXPECT_EQ(s.nets_3d, 1u);
+  EXPECT_EQ(s.crossings, 1u);  // one pad pair serves both sinks
+}
+
+TEST(LevelShifters, SplicesCrossTierSinks) {
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInput, 0, 10.0f, 20.0f);
+  const Id same = nl.add_cell(CellKind::kBuf, 0);
+  const Id other = nl.add_cell(CellKind::kBuf, 1);
+  const Id net = nl.connect(drv, 0, same, 0);
+  nl.add_sink(net, nl.input_pin(other, 0));
+  const auto report = floorplan::insert_level_shifters(nl);
+  ASSERT_EQ(report.inserted, 1u);
+  const Id ls = report.ls_cells[0];
+  EXPECT_EQ(nl.cell(ls).kind, CellKind::kLevelShifter);
+  EXPECT_EQ(nl.cell(ls).tier, 1);                  // destination tier
+  EXPECT_FLOAT_EQ(nl.cell(ls).x_um, 10.0f);        // at the F2F landing
+  // Same-tier sink untouched; cross-tier sink re-driven by the LS.
+  EXPECT_EQ(nl.pin(nl.input_pin(same, 0)).net, net);
+  EXPECT_NE(nl.pin(nl.input_pin(other, 0)).net, net);
+  // The original net still crosses (driver -> LS input).
+  EXPECT_TRUE(nl.is_3d_net(net));
+  EXPECT_TRUE(nl.validate().empty());
+}
+
+TEST(LevelShifters, NoOpOn2dNets) {
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInv, 0);
+  nl.connect(drv, 0, nl.add_cell(CellKind::kBuf, 0), 0);
+  EXPECT_EQ(floorplan::insert_level_shifters(nl).inserted, 0u);
+}
+
+TEST(LevelShifters, OnePerNetNotPerSink) {
+  Netlist nl;
+  const Id drv = nl.add_cell(CellKind::kInv, 0);
+  const Id net = nl.connect(drv, 0, nl.add_cell(CellKind::kBuf, 1), 0);
+  for (int i = 0; i < 5; ++i) nl.add_sink(net, nl.input_pin(nl.add_cell(CellKind::kBuf, 1), 0));
+  EXPECT_EQ(floorplan::insert_level_shifters(nl).inserted, 1u);
+}
+
+TEST(LevelShifters, BenchmarkInsertionKeepsNetlistValid) {
+  Design d = make_maeri_16pe();
+  const std::size_t crossings_before = floorplan::count_crossings(d.nl).nets_3d;
+  const auto report = floorplan::insert_level_shifters(d.nl);
+  EXPECT_EQ(report.inserted, crossings_before);
+  EXPECT_TRUE(d.nl.validate().empty());
+  // Every 3D net now terminates in a level shifter (or drives only LS pins).
+  for (Id n = 0; n < d.nl.num_nets(); ++n) {
+    if (!d.nl.is_3d_net(n)) continue;
+    const Net& net = d.nl.net(n);
+    bool all_cross_sinks_are_ls = true;
+    const std::uint8_t drv_tier = d.nl.cell(d.nl.pin(net.driver).cell).tier;
+    for (Id sp : net.sinks) {
+      const CellInst& c = d.nl.cell(d.nl.pin(sp).cell);
+      if (c.tier != drv_tier && c.kind != CellKind::kLevelShifter)
+        all_cross_sinks_are_ls = false;
+    }
+    EXPECT_TRUE(all_cross_sinks_are_ls) << d.nl.net_name(n);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Integration tests: the complete flow (generate -> buffer -> LS -> place ->
+// route -> STA -> power [-> DFT]) across strategies, checking the paper's
+// qualitative claims end to end on the small benchmark.
+#include <gtest/gtest.h>
+
+#include "mls/flow.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::mls;
+
+FlowConfig fast_config(bool hetero) {
+  FlowConfig cfg;
+  cfg.heterogeneous = hetero;
+  cfg.run_pdn = false;
+  return cfg;
+}
+
+TEST(FlowIntegration, BaselineMetricsSane) {
+  util::set_log_level(util::LogLevel::kWarn);
+  DesignFlow flow(netlist::make_maeri_16pe(), fast_config(true));
+  const FlowMetrics m = flow.evaluate_no_mls();
+  EXPECT_EQ(m.strategy, "No MLS");
+  EXPECT_GT(m.wl_m, 0.01);
+  EXPECT_GT(m.endpoints, 500u);
+  EXPECT_EQ(m.mls_nets, 0u);
+  EXPECT_GT(m.power_mw, 1.0);
+  EXPECT_GT(m.eff_freq_mhz, 500.0);
+  EXPECT_LE(m.wns_ps, 0.0);
+}
+
+TEST(FlowIntegration, EvaluateIsDeterministic) {
+  util::set_log_level(util::LogLevel::kWarn);
+  DesignFlow a(netlist::make_maeri_16pe(), fast_config(true));
+  DesignFlow b(netlist::make_maeri_16pe(), fast_config(true));
+  const FlowMetrics ma = a.evaluate_no_mls();
+  const FlowMetrics mb = b.evaluate_no_mls();
+  EXPECT_DOUBLE_EQ(ma.wns_ps, mb.wns_ps);
+  EXPECT_DOUBLE_EQ(ma.wl_m, mb.wl_m);
+  EXPECT_EQ(ma.violating, mb.violating);
+}
+
+TEST(FlowIntegration, OracleMlsImprovesTiming) {
+  // Paper's central claim, with oracle decisions standing in for the GNN:
+  // selective MLS improves WNS/TNS/violations over the sequential-2D flow.
+  util::set_log_level(util::LogLevel::kWarn);
+  DesignFlow flow(netlist::make_maeri_16pe(), fast_config(true));
+  const FlowMetrics base = flow.evaluate_no_mls();
+  CorpusOptions co;
+  co.max_paths = 2000;
+  co.include_near_critical = false;
+  co.attach_labels = true;
+  const Corpus corpus = flow.corpus(co);
+  std::vector<std::uint8_t> flags(flow.design().nl.num_nets(), 0);
+  for (const auto& g : corpus.graphs)
+    for (std::size_t i = 0; i < g.labels.size(); ++i)
+      if (g.labels[i] == 1 && g.net_ids[i] != netlist::kNullId) flags[g.net_ids[i]] = 1;
+  const FlowMetrics shared = flow.evaluate(flags, Strategy::kGnn);
+  if (base.violating == 0) GTEST_SKIP() << "baseline met timing; nothing to improve";
+  EXPECT_GE(shared.wns_ps, base.wns_ps);
+  EXPECT_GE(shared.tns_ns, base.tns_ns);
+  EXPECT_LE(shared.violating, base.violating);
+  EXPECT_GT(shared.mls_nets, 0u);
+  EXPECT_GE(shared.eff_freq_mhz, base.eff_freq_mhz);
+}
+
+TEST(FlowIntegration, LevelShiftersOnlyInHetero) {
+  util::set_log_level(util::LogLevel::kWarn);
+  DesignFlow hetero(netlist::make_maeri_16pe(), fast_config(true));
+  DesignFlow homo(netlist::make_maeri_16pe(), fast_config(false));
+  const FlowMetrics mh = hetero.evaluate_no_mls();
+  const FlowMetrics mm = homo.evaluate_no_mls();
+  EXPECT_GT(mh.ls_power_mw, 0.0);
+  EXPECT_DOUBLE_EQ(mm.ls_power_mw, 0.0);
+}
+
+TEST(FlowIntegration, MlsNetsRaiseF2FCount) {
+  util::set_log_level(util::LogLevel::kWarn);
+  DesignFlow flow(netlist::make_maeri_16pe(), fast_config(true));
+  const FlowMetrics base = flow.evaluate_no_mls();
+  const FlowMetrics sota = flow.evaluate_sota();
+  EXPECT_GT(sota.mls_nets, 0u);
+  EXPECT_GT(sota.f2f_vias, base.f2f_vias);
+}
+
+TEST(FlowIntegration, PdnReportedWhenEnabled) {
+  util::set_log_level(util::LogLevel::kWarn);
+  FlowConfig cfg = fast_config(true);
+  cfg.run_pdn = true;
+  DesignFlow flow(netlist::make_maeri_16pe(), cfg);
+  const FlowMetrics m = flow.evaluate_no_mls();
+  EXPECT_GT(m.ir_drop_pct, 0.0);
+  EXPECT_GT(m.pdn_util, 0.0);
+  EXPECT_GT(m.pdn_width_um, 0.0);
+  ASSERT_NE(flow.pdn_design(), nullptr);
+  EXPECT_LE(flow.pdn_design()->worst_ir_pct, 10.0 + 1e-6);
+}
+
+TEST(FlowIntegration, DftFlowProducesCoverage) {
+  util::set_log_level(util::LogLevel::kWarn);
+  DesignFlow flow(netlist::make_maeri_16pe(), fast_config(true));
+  flow.evaluate_no_mls();
+  CorpusOptions co;
+  co.max_paths = 2000;
+  co.include_near_critical = false;
+  co.attach_labels = true;
+  const Corpus corpus = flow.corpus(co);
+  std::vector<std::uint8_t> flags(flow.design().nl.num_nets(), 0);
+  for (const auto& g : corpus.graphs)
+    for (std::size_t i = 0; i < g.labels.size(); ++i)
+      if (g.labels[i] == 1 && g.net_ids[i] != netlist::kNullId) flags[g.net_ids[i]] = 1;
+  const auto dft = flow.evaluate_with_dft(flags, Strategy::kGnn, dft::MlsDftStyle::kWireBased);
+  EXPECT_GT(dft.scan_flops, 100u);
+  EXPECT_GT(dft.total_faults, 1000u);
+  EXPECT_GT(dft.coverage, 0.88);
+  EXPECT_GT(dft.flow.wl_m, 0.0);
+}
+
+TEST(FlowIntegration, HomoFlowRuns) {
+  util::set_log_level(util::LogLevel::kWarn);
+  DesignFlow flow(netlist::make_maeri_16pe(), fast_config(false));
+  const FlowMetrics base = flow.evaluate_no_mls();
+  const FlowMetrics sota = flow.evaluate_sota();
+  EXPECT_GT(base.endpoints, 0u);
+  EXPECT_GE(sota.mls_nets, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for the synthetic benchmark generators: structural validity,
+// determinism, and the topology properties the flow depends on.
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::netlist;
+
+TEST(RandomDag, ValidAndSized) {
+  RandomDagParams p;
+  p.gates = 300;
+  const Design d = make_random_dag(p);
+  EXPECT_TRUE(d.nl.validate().empty());
+  const auto s = d.nl.stats();
+  EXPECT_GE(s.combinational, 300u);
+  EXPECT_GT(s.sequential, 0u);
+  EXPECT_GT(s.ports, 0u);
+}
+
+TEST(RandomDag, Deterministic) {
+  RandomDagParams p;
+  p.seed = 77;
+  const Design a = make_random_dag(p);
+  const Design b = make_random_dag(p);
+  ASSERT_EQ(a.nl.num_cells(), b.nl.num_cells());
+  ASSERT_EQ(a.nl.num_nets(), b.nl.num_nets());
+  for (Id c = 0; c < a.nl.num_cells(); ++c) {
+    EXPECT_EQ(a.nl.cell(c).kind, b.nl.cell(c).kind);
+    EXPECT_FLOAT_EQ(a.nl.cell(c).x_um, b.nl.cell(c).x_um);
+  }
+}
+
+TEST(RandomDag, SeedChangesStructure) {
+  RandomDagParams p;
+  p.seed = 1;
+  const Design a = make_random_dag(p);
+  p.seed = 2;
+  const Design b = make_random_dag(p);
+  bool any_diff = a.nl.num_cells() != b.nl.num_cells();
+  for (Id c = 0; !any_diff && c < a.nl.num_cells(); ++c)
+    any_diff = a.nl.cell(c).kind != b.nl.cell(c).kind;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomDag, TwoTierOptionPlacesOnTopTier) {
+  RandomDagParams p;
+  p.two_tier = true;
+  const Design d = make_random_dag(p);
+  EXPECT_GT(d.nl.stats().cells_top, 0u);
+  EXPECT_GT(d.nl.stats().nets_3d, 0u);
+}
+
+TEST(Maeri, SmallConfigValid) {
+  const Design d = make_maeri_16pe();
+  EXPECT_TRUE(d.nl.validate().empty());
+  EXPECT_EQ(d.info.beol_layers, 6);
+  EXPECT_DOUBLE_EQ(d.info.clock_ps, 400.0);  // 2.5 GHz target
+  const auto s = d.nl.stats();
+  // 16PE 4BW: banks on the memory die, logic below.
+  EXPECT_GT(s.macros, 0u);
+  EXPECT_GT(s.cells_bottom, s.cells_top);
+  EXPECT_GT(s.nets_3d, 0u);
+}
+
+TEST(Maeri, MemoryOnTopLogicOnBottom) {
+  const Design d = make_maeri_16pe();
+  for (const auto& cell : d.nl.cells()) {
+    if (cell.kind == tech::CellKind::kSramMacro) {
+      EXPECT_EQ(cell.tier, 1);
+    }
+  }
+}
+
+TEST(Maeri, ScalesWithPeCount) {
+  const Design small = make_maeri_16pe();
+  const Design big = make_maeri_128pe();
+  EXPECT_GT(big.nl.num_cells(), 4 * small.nl.num_cells());
+}
+
+TEST(Maeri, RejectsBadParams) {
+  MaeriParams p;
+  p.num_pe = 100;  // not a power of two
+  EXPECT_THROW(make_maeri(p), std::invalid_argument);
+  p.num_pe = 16;
+  p.bandwidth = 32;  // > num_pe
+  EXPECT_THROW(make_maeri(p), std::invalid_argument);
+}
+
+TEST(Maeri, CellsInsideDie) {
+  const Design d = make_maeri_128pe();
+  for (const auto& cell : d.nl.cells()) {
+    // Generators may jitter slightly outside; the placer clamps. Allow a
+    // small margin here.
+    EXPECT_GT(cell.x_um, -60.0f);
+    EXPECT_LT(cell.x_um, static_cast<float>(d.info.die_w_um) + 60.0f);
+  }
+}
+
+TEST(Maeri, HasMultiFanoutNets) {
+  const Design d = make_maeri_16pe();
+  EXPECT_GT(d.nl.stats().multi_fanout_nets, 50u);
+}
+
+TEST(A7, DualCoreValid) {
+  const Design d = make_a7_dual_core();
+  EXPECT_TRUE(d.nl.validate().empty());
+  EXPECT_EQ(d.info.beol_layers, 8);  // paper: 8+8 BEOL for A7
+  EXPECT_DOUBLE_EQ(d.info.clock_ps, 500.0);  // 2.0 GHz target
+  const auto s = d.nl.stats();
+  EXPECT_GT(s.macros, 16u);  // I+D caches, both cores
+  EXPECT_GT(s.nets_3d, 0u);
+}
+
+TEST(A7, SingleVsDualCoreScale) {
+  const Design one = make_a7_single_core();
+  const Design two = make_a7_dual_core();
+  EXPECT_GT(two.nl.num_cells(), one.nl.num_cells() * 3 / 2);
+}
+
+TEST(A7, Deterministic) {
+  const Design a = make_a7_dual_core(42);
+  const Design b = make_a7_dual_core(42);
+  EXPECT_EQ(a.nl.num_cells(), b.nl.num_cells());
+  EXPECT_EQ(a.nl.num_nets(), b.nl.num_nets());
+}
+
+TEST(AllBenchmarks, ValidateClean) {
+  for (const Design& d : {make_maeri_16pe(), make_maeri_128pe(), make_a7_single_core()}) {
+    const auto problems = d.nl.validate();
+    EXPECT_TRUE(problems.empty()) << d.info.name << ": " << (problems.empty() ? "" : problems[0]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Gradient-correctness tests for every layer: analytic backward passes are
+// verified against central finite differences. This is the safety net under
+// the hand-written transformer.
+#include <gtest/gtest.h>
+
+#include "ml/layers.hpp"
+#include "ml/transformer.hpp"
+
+namespace {
+
+using namespace gnnmls::ml;
+using gnnmls::util::Rng;
+
+// Scalar loss used for gradient checks: L = sum(Y * W) with fixed W.
+double probe_loss(const Mat& y, const Mat& probe) {
+  double l = 0.0;
+  for (std::size_t i = 0; i < y.data().size(); ++i) l += y.data()[i] * probe.data()[i];
+  return l;
+}
+
+// Generic finite-difference input-gradient check for a forward functor.
+template <typename Fwd>
+void check_input_grad(Fwd&& fwd, Mat x, const Mat& dx_analytic, const Mat& probe,
+                      double tol = 2e-5) {
+  const double eps = 1e-6;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      const double save = x.at(i, j);
+      x.at(i, j) = save + eps;
+      const double lp = probe_loss(fwd(x), probe);
+      x.at(i, j) = save - eps;
+      const double lm = probe_loss(fwd(x), probe);
+      x.at(i, j) = save;
+      EXPECT_NEAR(dx_analytic.at(i, j), (lp - lm) / (2.0 * eps), tol) << "at " << i << "," << j;
+    }
+  }
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear fc(2, 2, rng);
+  Mat x(1, 2);
+  x.at(0, 0) = 1.0;
+  x.at(0, 1) = 2.0;
+  const Mat y = fc.forward(x);
+  Param* w = fc.params()[0];
+  Param* b = fc.params()[1];
+  EXPECT_NEAR(y.at(0, 0), w->value.at(0, 0) + 2.0 * w->value.at(1, 0) + b->value.at(0, 0), 1e-12);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(2);
+  Linear fc(4, 3, rng);
+  const Mat x = Mat::xavier(5, 4, rng);
+  const Mat probe = Mat::xavier(5, 3, rng);
+  fc.zero_grad();
+  fc.forward(x);
+  const Mat dx = fc.backward(probe);
+  check_input_grad([&](const Mat& xi) { return fc.forward(xi); }, x, dx, probe);
+}
+
+TEST(Linear, WeightGradCheck) {
+  Rng rng(3);
+  Linear fc(3, 2, rng);
+  const Mat x = Mat::xavier(4, 3, rng);
+  const Mat probe = Mat::xavier(4, 2, rng);
+  fc.zero_grad();
+  fc.forward(x);
+  fc.backward(probe);
+  Param* w = fc.params()[0];
+  const double eps = 1e-6;
+  for (int i = 0; i < w->value.rows(); ++i) {
+    for (int j = 0; j < w->value.cols(); ++j) {
+      const double save = w->value.at(i, j);
+      w->value.at(i, j) = save + eps;
+      const double lp = probe_loss(fc.forward(x), probe);
+      w->value.at(i, j) = save - eps;
+      const double lm = probe_loss(fc.forward(x), probe);
+      w->value.at(i, j) = save;
+      EXPECT_NEAR(w->grad.at(i, j), (lp - lm) / (2.0 * eps), 2e-5);
+    }
+  }
+}
+
+TEST(ReLU, ForwardAndBackward) {
+  ReLU relu;
+  Mat x(1, 4);
+  double v[] = {-1.0, 0.0, 0.5, 2.0};
+  x.data().assign(v, v + 4);
+  const Mat y = relu.forward(x);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 3), 2.0);
+  Mat dy(1, 4);
+  dy.fill(1.0);
+  const Mat dx = relu.backward(dy);
+  EXPECT_DOUBLE_EQ(dx.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dx.at(0, 2), 1.0);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(4);
+  LayerNorm ln(8);
+  const Mat x = Mat::xavier(3, 8, rng);
+  const Mat y = ln.forward(x);
+  for (int i = 0; i < y.rows(); ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int j = 0; j < 8; ++j) mean += y.at(i, j);
+    mean /= 8;
+    for (int j = 0; j < 8; ++j) var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(5);
+  LayerNorm ln(6);
+  const Mat x = Mat::xavier(4, 6, rng);
+  const Mat probe = Mat::xavier(4, 6, rng);
+  ln.zero_grad();
+  ln.forward(x);
+  const Mat dx = ln.backward(probe);
+  check_input_grad([&](const Mat& xi) { return ln.forward(xi); }, x, dx, probe, 5e-5);
+}
+
+TEST(Attention, OutputShapeAndGradCheck) {
+  Rng rng(6);
+  MultiHeadAttention attn(12, 3, rng);
+  const Mat x = Mat::xavier(5, 12, rng);
+  Mat adj(5, 5);
+  for (int i = 0; i + 1 < 5; ++i) {
+    adj.at(i, i + 1) = 1.0;
+    adj.at(i + 1, i) = 1.0;
+  }
+  const Mat probe = Mat::xavier(5, 12, rng);
+  attn.zero_grad();
+  const Mat y = attn.forward(x, adj);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 12);
+  const Mat dx = attn.backward(probe);
+  check_input_grad([&](const Mat& xi) { return attn.forward(xi, adj); }, x, dx, probe, 5e-5);
+}
+
+TEST(Attention, AdjacencyBiasChangesOutput) {
+  Rng rng(7);
+  MultiHeadAttention attn(12, 3, rng);
+  const Mat x = Mat::xavier(4, 12, rng);
+  const Mat none;
+  Mat chain(4, 4);
+  for (int i = 0; i + 1 < 4; ++i) chain.at(i, i + 1) = chain.at(i + 1, i) = 1.0;
+  const Mat y0 = attn.forward(x, none);
+  const Mat y1 = attn.forward(x, chain);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < y0.data().size(); ++i) diff += std::abs(y0.data()[i] - y1.data()[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Attention, RejectsIndivisibleHeads) {
+  Rng rng(8);
+  EXPECT_THROW(MultiHeadAttention(10, 3, rng), std::invalid_argument);
+}
+
+TEST(FeedForward, GradCheck) {
+  Rng rng(9);
+  FeedForward ffn(6, 12, rng);
+  const Mat x = Mat::xavier(3, 6, rng);
+  const Mat probe = Mat::xavier(3, 6, rng);
+  ffn.zero_grad();
+  ffn.forward(x);
+  const Mat dx = ffn.backward(probe);
+  check_input_grad([&](const Mat& xi) { return ffn.forward(xi); }, x, dx, probe, 5e-5);
+}
+
+TEST(Transformer, EndToEndGradCheck) {
+  Rng rng(10);
+  TransformerConfig cfg;
+  cfg.input_features = 5;
+  cfg.dim = 12;
+  cfg.heads = 3;
+  cfg.layers = 2;
+  cfg.ffn_hidden = 24;
+  GraphTransformer enc(cfg, rng);
+  const Mat x = Mat::xavier(4, 5, rng);
+  Mat adj(4, 4);
+  for (int i = 0; i + 1 < 4; ++i) adj.at(i, i + 1) = adj.at(i + 1, i) = 1.0;
+  const Mat probe = Mat::xavier(4, 12, rng);
+  enc.zero_grad();
+  enc.forward(x, adj);
+  const Mat dx = enc.backward(probe);
+  check_input_grad([&](const Mat& xi) { return enc.forward(xi, adj); }, x, dx, probe, 2e-4);
+}
+
+TEST(Transformer, PositionalEncodingDistinguishesOrder) {
+  Rng rng(11);
+  TransformerConfig cfg;
+  cfg.input_features = 4;
+  cfg.dim = 12;
+  GraphTransformer enc(cfg, rng);
+  Mat x(3, 4);
+  x.fill(0.5);  // identical features at every position
+  const Mat h = enc.forward(x, Mat());
+  double diff = 0.0;
+  for (int j = 0; j < h.cols(); ++j) diff += std::abs(h.at(0, j) - h.at(2, j));
+  EXPECT_GT(diff, 1e-6);  // embeddings differ only because of position
+}
+
+TEST(Transformer, RejectsOverlongPaths) {
+  Rng rng(12);
+  TransformerConfig cfg;
+  cfg.max_len = 8;
+  GraphTransformer enc(cfg, rng);
+  EXPECT_THROW(enc.forward(Mat(9, cfg.input_features), Mat()), std::invalid_argument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize ||W - T||^2 for a fixed target T.
+  Rng rng(13);
+  Param w(Mat::xavier(3, 3, rng));
+  const Mat target = Mat::xavier(3, 3, rng);
+  Adam opt({&w}, 0.05);
+  for (int step = 0; step < 400; ++step) {
+    w.zero_grad();
+    for (std::size_t i = 0; i < w.value.data().size(); ++i)
+      w.grad.data()[i] = 2.0 * (w.value.data()[i] - target.data()[i]);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < w.value.data().size(); ++i)
+    EXPECT_NEAR(w.value.data()[i], target.data()[i], 1e-3);
+}
+
+}  // namespace

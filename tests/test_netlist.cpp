@@ -1,0 +1,178 @@
+// Unit tests for the netlist data model: construction, connectivity edits,
+// and structural invariants.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using netlist::Id;
+using netlist::kNullId;
+using netlist::Netlist;
+using tech::CellKind;
+
+TEST(Netlist, AddCellCreatesPins) {
+  Netlist nl;
+  const Id inv = nl.add_cell(CellKind::kInv, 0);
+  EXPECT_EQ(nl.cell(inv).num_in, 1);
+  EXPECT_EQ(nl.cell(inv).num_out, 1);
+  const Id nand = nl.add_cell(CellKind::kNand2, 1, 3.0f, 4.0f);
+  EXPECT_EQ(nl.cell(nand).num_in, 2);
+  EXPECT_EQ(nl.cell(nand).tier, 1);
+  EXPECT_FLOAT_EQ(nl.cell(nand).x_um, 3.0f);
+  const Id sram = nl.add_cell(CellKind::kSramMacro, 1);
+  EXPECT_EQ(nl.cell(sram).num_in, 8);
+  EXPECT_EQ(nl.cell(sram).num_out, 8);
+  EXPECT_EQ(nl.num_pins(), 2u + 3u + 16u);
+}
+
+TEST(Netlist, PinDirectionsAndIndices) {
+  Netlist nl;
+  const Id mux = nl.add_cell(CellKind::kMux2, 0);
+  for (int i = 0; i < 3; ++i) {
+    const netlist::Pin& p = nl.pin(nl.input_pin(mux, i));
+    EXPECT_EQ(p.dir, netlist::PinDir::kIn);
+    EXPECT_EQ(p.index, i);
+    EXPECT_EQ(p.cell, mux);
+  }
+  EXPECT_EQ(nl.pin(nl.output_pin(mux, 0)).dir, netlist::PinDir::kOut);
+  EXPECT_THROW(nl.input_pin(mux, 3), std::out_of_range);
+  EXPECT_THROW(nl.output_pin(mux, 1), std::out_of_range);
+}
+
+TEST(Netlist, ConnectBuildsNet) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kBuf, 0);
+  const Id c = nl.add_cell(CellKind::kBuf, 0);
+  const Id net = nl.connect(a, 0, b, 0);
+  const Id net2 = nl.connect(a, 0, c, 0);
+  EXPECT_EQ(net, net2);  // reuses the driver's net
+  EXPECT_EQ(nl.net(net).sinks.size(), 2u);
+  EXPECT_EQ(nl.net(net).driver, nl.output_pin(a, 0));
+}
+
+TEST(Netlist, DriverRulesEnforced) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kInv, 0);
+  const Id net = nl.add_net();
+  nl.set_driver(net, nl.output_pin(a, 0));
+  EXPECT_THROW(nl.set_driver(net, nl.output_pin(b, 0)), std::logic_error);
+  EXPECT_THROW(nl.set_driver(nl.add_net(), nl.input_pin(a, 0)), std::logic_error);
+}
+
+TEST(Netlist, SinkRulesEnforced) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kInv, 0);
+  const Id n1 = nl.connect(a, 0, b, 0);
+  // Already-connected input can't join another net.
+  const Id n2 = nl.add_net();
+  EXPECT_THROW(nl.add_sink(n2, nl.input_pin(b, 0)), std::logic_error);
+  // Output pin can't be a sink.
+  EXPECT_THROW(nl.add_sink(n1, nl.output_pin(b, 0)), std::logic_error);
+}
+
+TEST(Netlist, DetachSinkAndReattach) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kBuf, 0);
+  const Id net = nl.connect(a, 0, b, 0);
+  nl.detach_sink(net, nl.input_pin(b, 0));
+  EXPECT_TRUE(nl.net(net).sinks.empty());
+  EXPECT_EQ(nl.pin(nl.input_pin(b, 0)).net, kNullId);
+  const Id net2 = nl.add_net();
+  const Id c = nl.add_cell(CellKind::kInv, 0);
+  nl.set_driver(net2, nl.output_pin(c, 0));
+  nl.add_sink(net2, nl.input_pin(b, 0));
+  EXPECT_EQ(nl.pin(nl.input_pin(b, 0)).net, net2);
+}
+
+TEST(Netlist, DetachDriver) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kBuf, 0);
+  const Id net = nl.connect(a, 0, b, 0);
+  nl.detach_driver(net);
+  EXPECT_EQ(nl.net(net).driver, kNullId);
+  const Id c = nl.add_cell(CellKind::kInv, 0);
+  nl.set_driver(net, nl.output_pin(c, 0));
+  EXPECT_EQ(nl.net(net).driver, nl.output_pin(c, 0));
+}
+
+TEST(Netlist, OrphanDetection) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kBuf, 0);
+  EXPECT_TRUE(nl.is_orphan(a));  // nothing connected yet
+  const Id net = nl.connect(a, 0, b, 0);
+  EXPECT_FALSE(nl.is_orphan(a));
+  EXPECT_FALSE(nl.is_orphan(b));
+  nl.detach_sink(net, nl.input_pin(b, 0));
+  EXPECT_TRUE(nl.is_orphan(b));
+}
+
+TEST(Netlist, Is3dNet) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kBuf, 0);
+  const Id c = nl.add_cell(CellKind::kBuf, 1);
+  const Id net = nl.connect(a, 0, b, 0);
+  EXPECT_FALSE(nl.is_3d_net(net));
+  nl.add_sink(net, nl.input_pin(c, 0));
+  EXPECT_TRUE(nl.is_3d_net(net));
+}
+
+TEST(Netlist, HpwlBoundingBox) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0, 0.0f, 0.0f);
+  const Id b = nl.add_cell(CellKind::kBuf, 0, 30.0f, 40.0f);
+  const Id c = nl.add_cell(CellKind::kBuf, 0, 10.0f, 5.0f);
+  const Id net = nl.connect(a, 0, b, 0);
+  nl.add_sink(net, nl.input_pin(c, 0));
+  EXPECT_DOUBLE_EQ(nl.net_hpwl_um(net), 30.0 + 40.0);
+}
+
+TEST(Netlist, ValidateCatchesProblems) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  const Id b = nl.add_cell(CellKind::kBuf, 0);
+  nl.connect(a, 0, b, 0);
+  // a's own input floats and a is not an orphan -> problem reported.
+  auto problems = nl.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("floating input"), std::string::npos);
+  // Undriven net.
+  nl.add_net();
+  problems = nl.validate();
+  EXPECT_EQ(problems.size(), 2u);
+}
+
+TEST(Netlist, StatsCountsKinds) {
+  Netlist nl;
+  const Id in = nl.add_cell(CellKind::kInput, 0);
+  const Id ff = nl.add_cell(CellKind::kDff, 0);
+  const Id sram = nl.add_cell(CellKind::kSramMacro, 1);
+  nl.connect(in, 0, ff, 0);
+  nl.connect(ff, 0, sram, 0);
+  const auto s = nl.stats();
+  EXPECT_EQ(s.cells, 3u);
+  EXPECT_EQ(s.sequential, 1u);
+  EXPECT_EQ(s.macros, 1u);
+  EXPECT_EQ(s.ports, 1u);
+  EXPECT_EQ(s.cells_top, 1u);
+  EXPECT_EQ(s.nets_3d, 1u);
+}
+
+TEST(Netlist, NamesAreStable) {
+  Netlist nl;
+  const Id a = nl.add_cell(CellKind::kInv, 0);
+  EXPECT_EQ(nl.cell_name(a), "u0");
+  const Id b = nl.add_cell(CellKind::kBuf, 0);
+  const Id net = nl.connect(a, 0, b, 0);
+  EXPECT_EQ(nl.net_name(net), "n0");
+}
+
+}  // namespace

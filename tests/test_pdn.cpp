@@ -1,0 +1,132 @@
+// Tests for power estimation, PDN synthesis, and the IR-drop solver.
+#include <gtest/gtest.h>
+
+#include "netlist/buffering.hpp"
+#include "netlist/generators.hpp"
+#include "pdn/irdrop.hpp"
+#include "pdn/pdn.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::pdn;
+
+struct RoutedFixture : ::testing::Test {
+  void SetUp() override {
+    d = netlist::make_maeri_16pe();
+    tech3d = tech::make_hetero_tech(d.info.beol_layers);
+    netlist::insert_buffer_trees(d.nl);
+    place::place(d, tech3d);
+    router = std::make_unique<route::Router>(d, tech3d);
+    router->route_all({});
+  }
+  netlist::Design d;
+  tech::Tech3D tech3d;
+  std::unique_ptr<route::Router> router;
+};
+
+TEST_F(RoutedFixture, PowerBreakdownIsConsistent) {
+  const PowerReport p = estimate_power(d, tech3d, router->routes());
+  EXPECT_GT(p.dynamic_mw, 0.0);
+  EXPECT_GT(p.wire_mw, 0.0);
+  EXPECT_GT(p.sram_mw, 0.0);
+  EXPECT_GT(p.leakage_mw, 0.0);
+  EXPECT_NEAR(p.total_mw, p.dynamic_mw + p.wire_mw + p.sram_mw + p.leakage_mw + p.ls_mw, 1e-9);
+  EXPECT_NEAR(p.total_mw, p.per_tier_mw[0] + p.per_tier_mw[1], p.total_mw * 0.3);
+}
+
+TEST_F(RoutedFixture, PowerScalesWithActivity) {
+  PowerOptions low, high;
+  low.activity = 0.05;
+  high.activity = 0.30;
+  EXPECT_GT(estimate_power(d, tech3d, router->routes(), high).total_mw,
+            estimate_power(d, tech3d, router->routes(), low).total_mw * 2.0);
+}
+
+TEST_F(RoutedFixture, PowerDensityMapCoversLoad) {
+  const auto map = power_density_map(d, tech3d, router->routes(), 1, 16, 16);
+  double total = 0.0;
+  for (double v : map) total += v;
+  EXPECT_GT(total, 0.0);  // the memory die burns power
+}
+
+TEST(IrDrop, ZeroLoadZeroDrop) {
+  PdnGridSpec spec;
+  const auto r = solve_ir_drop(spec, {}, 0, 0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.max_drop_mv, 0.0, 1e-9);
+}
+
+TEST(IrDrop, CenterLoadDropsMostAtCenter) {
+  PdnGridSpec spec;
+  spec.die_w_um = 500.0;
+  spec.die_h_um = 500.0;
+  std::vector<double> pmap(9, 0.0);
+  pmap[4] = 200.0;  // 200 mW at the center cell of a 3x3 map
+  const auto r = solve_ir_drop(spec, pmap, 3, 3);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.max_drop_mv, 0.0);
+  // The hottest node should be near the grid center.
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < r.node_drop_mv.size(); ++i)
+    if (r.node_drop_mv[i] > r.node_drop_mv[arg]) arg = i;
+  const int cx = static_cast<int>(arg) % r.grid_nx;
+  const int cy = static_cast<int>(arg) / r.grid_nx;
+  EXPECT_NEAR(cx, r.grid_nx / 2, r.grid_nx / 4);
+  EXPECT_NEAR(cy, r.grid_ny / 2, r.grid_ny / 4);
+}
+
+TEST(IrDrop, WiderStrapsReduceDrop) {
+  PdnGridSpec narrow, wide;
+  narrow.strap_width_um = 0.5;
+  wide.strap_width_um = 3.0;
+  std::vector<double> pmap(16, 20.0);
+  const auto rn = solve_ir_drop(narrow, pmap, 4, 4);
+  const auto rw = solve_ir_drop(wide, pmap, 4, 4);
+  EXPECT_GT(rn.max_drop_mv, rw.max_drop_mv);
+}
+
+TEST(IrDrop, MorePowerMoreDrop) {
+  PdnGridSpec spec;
+  std::vector<double> low(16, 5.0), high(16, 50.0);
+  EXPECT_GT(solve_ir_drop(spec, high, 4, 4).max_drop_mv,
+            solve_ir_drop(spec, low, 4, 4).max_drop_mv * 2.0);
+}
+
+TEST(IrDrop, RenderedMapHasContent) {
+  PdnGridSpec spec;
+  std::vector<double> pmap(16, 30.0);
+  const auto r = solve_ir_drop(spec, pmap, 4, 4);
+  const std::string art = render_drop_map(r, 24);
+  EXPECT_GT(art.size(), 24u);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+TEST_F(RoutedFixture, PdnSynthesisMeetsBudgetOrSaturates) {
+  PdnOptions opt;
+  opt.ir_budget_pct = 10.0;
+  const PdnDesign pdn = synthesize_pdn(d, tech3d, router->routes(), opt);
+  for (int tier = 0; tier < 2; ++tier) {
+    EXPECT_GE(pdn.utilization[tier], opt.min_utilization - 1e-9);
+    EXPECT_LE(pdn.utilization[tier], opt.max_utilization + 1e-9);
+    EXPECT_GT(pdn.strap_width_um[tier], 0.0);
+  }
+  // Budget met (or the synthesis hit its utilization ceiling).
+  const bool met = pdn.worst_ir_pct <= opt.ir_budget_pct + 1e-6;
+  const bool saturated = pdn.utilization[0] >= opt.max_utilization - 1e-6 ||
+                         pdn.utilization[1] >= opt.max_utilization - 1e-6;
+  EXPECT_TRUE(met || saturated);
+}
+
+TEST_F(RoutedFixture, TighterBudgetNeedsMoreMetal) {
+  PdnOptions loose, tight;
+  loose.ir_budget_pct = 12.0;
+  tight.ir_budget_pct = 1.0;
+  const PdnDesign a = synthesize_pdn(d, tech3d, router->routes(), loose);
+  const PdnDesign b = synthesize_pdn(d, tech3d, router->routes(), tight);
+  EXPECT_GE(b.utilization[1], a.utilization[1]);
+}
+
+}  // namespace

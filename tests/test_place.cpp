@@ -1,0 +1,77 @@
+// Tests for the density-driven placement legalizer.
+#include <gtest/gtest.h>
+
+#include "netlist/buffering.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::netlist;
+
+TEST(Placer, ClampsCellsIntoDie) {
+  Design d = make_random_dag({});
+  // Push one cell far outside.
+  d.nl.cell(0).x_um = 1e6f;
+  d.nl.cell(0).y_um = -50.0f;
+  const auto tech3d = tech::make_homo_tech(6);
+  place::place(d, tech3d);
+  for (const auto& cell : d.nl.cells()) {
+    EXPECT_GE(cell.x_um, 0.0f);
+    EXPECT_LT(cell.x_um, static_cast<float>(d.info.die_w_um));
+    EXPECT_GE(cell.y_um, 0.0f);
+    EXPECT_LT(cell.y_um, static_cast<float>(d.info.die_h_um));
+  }
+}
+
+TEST(Placer, SpreadsOverfullClusters) {
+  // All cells seeded at one point must end up at legal density.
+  RandomDagParams p;
+  p.gates = 2000;
+  p.die_w_um = 300.0;
+  Design d = make_random_dag(p);
+  for (Id c = 0; c < d.nl.num_cells(); ++c) {
+    d.nl.cell(c).x_um = 150.0f;
+    d.nl.cell(c).y_um = 150.0f;
+  }
+  const auto tech3d = tech::make_homo_tech(6);
+  place::PlacerOptions opt;
+  const auto result = place::place(d, tech3d, opt);
+  EXPECT_LE(result.peak_bin_utilization, opt.target_utilization * 1.4);
+  EXPECT_GT(result.mean_displacement_um, 1.0);
+}
+
+TEST(Placer, PreservesLocalityForLegalSeeds) {
+  Design d = make_maeri_16pe();
+  insert_buffer_trees(d.nl);
+  const auto tech3d = tech::make_hetero_tech(6);
+  const auto result = place::place(d, tech3d);
+  // Legalization shouldn't fling cells across the die on average.
+  EXPECT_LT(result.mean_displacement_um, d.info.die_w_um * 0.2);
+}
+
+TEST(Placer, Deterministic) {
+  Design a = make_maeri_16pe();
+  Design b = make_maeri_16pe();
+  const auto tech3d = tech::make_hetero_tech(6);
+  place::place(a, tech3d);
+  place::place(b, tech3d);
+  for (Id c = 0; c < a.nl.num_cells(); ++c) {
+    EXPECT_FLOAT_EQ(a.nl.cell(c).x_um, b.nl.cell(c).x_um);
+    EXPECT_FLOAT_EQ(a.nl.cell(c).y_um, b.nl.cell(c).y_um);
+  }
+}
+
+TEST(Placer, ReportsPerTierArea) {
+  Design d = make_maeri_16pe();
+  const auto tech3d = tech::make_hetero_tech(6);
+  const auto result = place::place(d, tech3d);
+  EXPECT_GT(result.total_cell_area_um2[0], 0.0);
+  EXPECT_GT(result.total_cell_area_um2[1], 0.0);
+  // Memory die carries the big SRAM macros.
+  EXPECT_GT(result.total_cell_area_um2[1], result.total_cell_area_um2[0]);
+  EXPECT_GT(result.die_utilization[1], result.die_utilization[0]);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Tests for static timing analysis: arrival propagation, slack math, and
+// path extraction, on both hand-built and generated circuits.
+#include <gtest/gtest.h>
+
+#include "netlist/buffering.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "sta/delay.hpp"
+#include "sta/graph.hpp"
+#include "sta/paths.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using namespace gnnmls::netlist;
+using tech::CellKind;
+
+// FF -> INV -> INV -> FF chain with explicit (hand-made) routes.
+struct ChainFixture {
+  Design d;
+  tech::Tech3D tech3d = tech::make_homo_tech(6);
+  std::vector<route::NetRoute> routes;
+  Id ff_in, inv1, inv2, ff_out;
+
+  ChainFixture() {
+    d.info.name = "chain";
+    d.info.clock_ps = 500.0;
+    Netlist& nl = d.nl;
+    ff_in = nl.add_cell(CellKind::kDff, 0);
+    inv1 = nl.add_cell(CellKind::kInv, 0);
+    inv2 = nl.add_cell(CellKind::kInv, 0);
+    ff_out = nl.add_cell(CellKind::kDff, 0);
+    const Id pi = nl.add_cell(CellKind::kInput, 0);
+    nl.connect(pi, 0, ff_in, 0);
+    nl.connect(ff_in, 0, inv1, 0);
+    nl.connect(inv1, 0, inv2, 0);
+    nl.connect(inv2, 0, ff_out, 0);
+    routes.resize(nl.num_nets());
+    // Simple wire model: zero RC, load = sink pin caps.
+    for (Id n = 0; n < nl.num_nets(); ++n) {
+      auto& r = routes[n];
+      r.sink_elmore_ps.assign(nl.net(n).sinks.size(), 0.0f);
+      float load = 0.0f;
+      for (Id sp : nl.net(n).sinks) {
+        const auto& cell = nl.cell(nl.pin(sp).cell);
+        load += static_cast<float>(tech3d.bottom.cell(cell.kind).input_cap_ff);
+      }
+      r.load_ff = load;
+    }
+  }
+
+  double expected_arrival_at_capture() const {
+    const auto& lib = tech3d.bottom;
+    const auto& dff = lib.cell(CellKind::kDff);
+    const auto& inv = lib.cell(CellKind::kInv);
+    const double inv_load = inv.input_cap_ff;   // each stage drives one INV/DFF pin
+    const double dff_load = dff.input_cap_ff;
+    double t = dff.clk_to_q_ps;
+    t += sta::cell_delay_ps(inv, inv_load + inv.output_cap_ff);  // wait: loads per net
+    (void)inv_load;
+    (void)dff_load;
+    return t;
+  }
+};
+
+TEST(Sta, HandComputedChainSlack) {
+  ChainFixture f;
+  sta::TimingGraph tg(f.d, f.tech3d, f.routes);
+  const auto result = tg.run(500.0);
+  const auto& lib = f.tech3d.bottom;
+  const auto& dff = lib.cell(CellKind::kDff);
+  const auto& inv = lib.cell(CellKind::kInv);
+  // Arrival at capture D = clk2q + d(inv1) + d(inv2).
+  const double d1 = sta::cell_delay_ps(inv, inv.input_cap_ff + inv.output_cap_ff);
+  const double d2 = sta::cell_delay_ps(inv, dff.input_cap_ff + inv.output_cap_ff);
+  const double arrival = dff.clk_to_q_ps + d1 + d2;
+  const Id capture_d = f.d.nl.input_pin(f.ff_out, 0);
+  EXPECT_NEAR(tg.arrival_ps(capture_d), arrival, 1e-4);
+  const double slack = (500.0 - dff.setup_ps) - arrival;
+  EXPECT_NEAR(tg.slack_ps(capture_d), slack, 1e-4);
+  EXPECT_EQ(result.violating_endpoints, 0u);
+  EXPECT_DOUBLE_EQ(result.wns_ps, 0.0);
+}
+
+TEST(Sta, TightClockViolates) {
+  ChainFixture f;
+  sta::TimingGraph tg(f.d, f.tech3d, f.routes);
+  const auto result = tg.run(80.0);  // well under the chain delay
+  EXPECT_GT(result.violating_endpoints, 0u);
+  EXPECT_LT(result.wns_ps, 0.0);
+  EXPECT_LT(result.tns_ns, 0.0);
+  EXPECT_NEAR(result.effective_freq_mhz, 1e6 / (80.0 - result.wns_ps), 1e-9);
+}
+
+TEST(Sta, ClockUncertaintyShiftsSlack) {
+  ChainFixture f;
+  sta::TimingGraph tg(f.d, f.tech3d, f.routes);
+  tg.run(500.0, 0.0);
+  const Id capture_d = f.d.nl.input_pin(f.ff_out, 0);
+  const double slack0 = tg.slack_ps(capture_d);
+  tg.run(500.0, 40.0);
+  EXPECT_NEAR(tg.slack_ps(capture_d), slack0 - 40.0, 1e-4);
+}
+
+TEST(Sta, WireDelayAddsToArrival) {
+  ChainFixture f;
+  sta::TimingGraph tg(f.d, f.tech3d, f.routes);
+  tg.run(500.0);
+  const Id capture_d = f.d.nl.input_pin(f.ff_out, 0);
+  const double base = tg.arrival_ps(capture_d);
+  // Add 25 ps of wire delay on the last net.
+  const Id last_net = f.d.nl.pin(capture_d).net;
+  f.routes[last_net].sink_elmore_ps[0] = 25.0f;
+  sta::TimingGraph tg2(f.d, f.tech3d, f.routes);
+  tg2.run(500.0);
+  EXPECT_NEAR(tg2.arrival_ps(capture_d), base + 25.0, 1e-4);
+}
+
+TEST(Sta, LoadIncreasesDriverDelay) {
+  ChainFixture f;
+  sta::TimingGraph tg(f.d, f.tech3d, f.routes);
+  tg.run(500.0);
+  const Id capture_d = f.d.nl.input_pin(f.ff_out, 0);
+  const double base = tg.arrival_ps(capture_d);
+  const Id mid_net = f.d.nl.pin(f.d.nl.input_pin(f.inv2, 0)).net;
+  f.routes[mid_net].load_ff += 50.0f;  // +50 fF on inv1's output
+  sta::TimingGraph tg2(f.d, f.tech3d, f.routes);
+  tg2.run(500.0);
+  const auto& inv = f.tech3d.bottom.cell(CellKind::kInv);
+  EXPECT_NEAR(tg2.arrival_ps(capture_d), base + inv.drive_res_kohm * 50.0, 1e-4);
+}
+
+TEST(Sta, EndpointsAreSequentialInputsAndPorts) {
+  ChainFixture f;
+  sta::TimingGraph tg(f.d, f.tech3d, f.routes);
+  tg.run(500.0);
+  EXPECT_TRUE(tg.is_endpoint(f.d.nl.input_pin(f.ff_out, 0)));
+  EXPECT_TRUE(tg.is_endpoint(f.d.nl.input_pin(f.ff_in, 0)));
+  EXPECT_FALSE(tg.is_endpoint(f.d.nl.input_pin(f.inv1, 0)));
+}
+
+TEST(Sta, PathExtractionBacktracesWorstChain) {
+  ChainFixture f;
+  sta::TimingGraph tg(f.d, f.tech3d, f.routes);
+  tg.run(80.0);
+  const auto paths = sta::extract_paths(tg);
+  ASSERT_GE(paths.size(), 1u);
+  const auto& p = paths.front();
+  // Launch FF, two inverters -> 3 stages with driven nets.
+  ASSERT_EQ(p.stages.size(), 3u);
+  EXPECT_EQ(p.stages[0].cell, f.ff_in);
+  EXPECT_EQ(p.stages[1].cell, f.inv1);
+  EXPECT_EQ(p.stages[2].cell, f.inv2);
+  EXPECT_EQ(p.endpoint_pin, f.d.nl.input_pin(f.ff_out, 0));
+  EXPECT_LT(p.slack_ps, 0.0);
+}
+
+TEST(Sta, PathsSortedBySlack) {
+  tech::Tech3D tech3d = tech::make_hetero_tech(6);
+  Design d = make_maeri_16pe();
+  insert_buffer_trees(d.nl);
+  place::place(d, tech3d);
+  route::Router router(d, tech3d);
+  router.route_all({});
+  sta::TimingGraph tg(d, tech3d, router.routes());
+  tg.run(250.0);  // force violations
+  sta::PathExtractOptions opt;
+  opt.max_paths = 50;
+  const auto paths = sta::extract_paths(tg, opt);
+  ASSERT_GT(paths.size(), 1u);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_LE(paths[i - 1].slack_ps, paths[i].slack_ps);
+  for (const auto& p : paths) {
+    EXPECT_FALSE(p.stages.empty());
+    // Every stage except possibly the last drives a net on the path.
+    for (std::size_t s = 0; s + 1 < p.stages.size(); ++s)
+      EXPECT_NE(p.stages[s].net, kNullId);
+  }
+}
+
+TEST(Sta, NearCriticalHarvestIncludesPassingPaths) {
+  tech::Tech3D tech3d = tech::make_hetero_tech(6);
+  Design d = make_maeri_16pe();
+  insert_buffer_trees(d.nl);
+  place::place(d, tech3d);
+  route::Router router(d, tech3d);
+  router.route_all({});
+  sta::TimingGraph tg(d, tech3d, router.routes());
+  tg.run(d.info.clock_ps);
+  sta::PathExtractOptions strict;
+  strict.include_near_critical = false;
+  sta::PathExtractOptions loose;
+  loose.include_near_critical = true;
+  loose.margin_ps = 150.0;
+  loose.max_paths = 10000;
+  strict.max_paths = 10000;
+  EXPECT_GT(sta::extract_paths(tg, loose).size(), sta::extract_paths(tg, strict).size());
+}
+
+TEST(Sta, FullDesignRunsAndIsStable) {
+  tech::Tech3D tech3d = tech::make_hetero_tech(6);
+  Design d = make_maeri_16pe();
+  insert_buffer_trees(d.nl);
+  place::place(d, tech3d);
+  route::Router router(d, tech3d);
+  router.route_all({});
+  sta::TimingGraph tg(d, tech3d, router.routes());
+  const auto r1 = tg.run(d.info.clock_ps, 40.0);
+  const auto r2 = tg.run(d.info.clock_ps, 40.0);
+  EXPECT_DOUBLE_EQ(r1.wns_ps, r2.wns_ps);
+  EXPECT_EQ(r1.violating_endpoints, r2.violating_endpoints);
+  EXPECT_GT(r1.endpoints, 500u);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Unit tests for the technology models: BEOL stacks, cell libraries, and the
+// mixed-node invariants the MLS mechanism depends on.
+#include <gtest/gtest.h>
+
+#include "tech/tech.hpp"
+
+namespace {
+
+using namespace gnnmls::tech;
+
+TEST(Beol, LayerCountAndNames) {
+  const BeolStack s = make_beol(Node::kN28, 6);
+  ASSERT_EQ(s.num_layers(), 6);
+  EXPECT_EQ(s.layer(0).name, "M1");
+  EXPECT_EQ(s.layer(5).name, "M6");
+  EXPECT_EQ(s.top(), 5);
+}
+
+TEST(Beol, RejectsTooFewLayers) {
+  EXPECT_THROW(make_beol(Node::kN28, 2), std::invalid_argument);
+}
+
+TEST(Beol, ResistanceDecreasesUpward) {
+  for (const Node node : {Node::kN16, Node::kN28}) {
+    const BeolStack s = make_beol(node, 8);
+    for (int i = 1; i < s.num_layers(); ++i)
+      EXPECT_LT(s.layer(i).r_ohm_per_um, s.layer(i - 1).r_ohm_per_um)
+          << to_string(node) << " M" << i + 1;
+  }
+}
+
+TEST(Beol, PitchIncreasesUpward) {
+  const BeolStack s = make_beol(Node::kN16, 6);
+  for (int i = 1; i < s.num_layers(); ++i)
+    EXPECT_GT(s.layer(i).pitch_um, s.layer(i - 1).pitch_um);
+}
+
+TEST(Beol, DirectionsAlternate) {
+  const BeolStack s = make_beol(Node::kN28, 6);
+  for (int i = 1; i < s.num_layers(); ++i) EXPECT_NE(s.layer(i).dir, s.layer(i - 1).dir);
+}
+
+// The heart of the heterogeneous MLS advantage: at equal layer count the
+// 28nm top metal is much less resistive than the 16nm top metal.
+TEST(Beol, N28TopMetalBeatsN16TopMetal) {
+  const BeolStack n16 = make_beol(Node::kN16, 6);
+  const BeolStack n28 = make_beol(Node::kN28, 6);
+  EXPECT_LT(n28.layer(5).r_ohm_per_um * 3.0, n16.layer(5).r_ohm_per_um);
+}
+
+TEST(Beol, N16LowerMetalIsVeryResistive) {
+  const BeolStack n16 = make_beol(Node::kN16, 6);
+  EXPECT_GT(n16.layer(1).r_ohm_per_um, 4.0);
+}
+
+TEST(Library, AllKindsPresent) {
+  const Library lib = Library::make(Node::kN28);
+  for (const CellKind kind :
+       {CellKind::kBuf, CellKind::kInv, CellKind::kAnd2, CellKind::kOr2, CellKind::kNand2,
+        CellKind::kNor2, CellKind::kXor2, CellKind::kMux2, CellKind::kDff, CellKind::kScanDff,
+        CellKind::kSramMacro, CellKind::kLevelShifter}) {
+    EXPECT_EQ(lib.cell(kind).kind, kind);
+  }
+}
+
+TEST(Library, N16IsFasterAndSmaller) {
+  const Library n16 = Library::make(Node::kN16);
+  const Library n28 = Library::make(Node::kN28);
+  for (const CellKind kind : {CellKind::kNand2, CellKind::kXor2, CellKind::kBuf}) {
+    EXPECT_LT(n16.cell(kind).intrinsic_ps, n28.cell(kind).intrinsic_ps);
+    EXPECT_LT(n16.cell(kind).area_um2, n28.cell(kind).area_um2);
+    EXPECT_LT(n16.cell(kind).input_cap_ff, n28.cell(kind).input_cap_ff);
+  }
+}
+
+TEST(Library, VoltageDomains) {
+  EXPECT_DOUBLE_EQ(Library::make(Node::kN28).vdd(), 0.9);
+  EXPECT_DOUBLE_EQ(Library::make(Node::kN16).vdd(), 0.81);
+}
+
+TEST(Library, SequentialTimingPositive) {
+  const Library lib = Library::make(Node::kN28);
+  for (const CellKind kind : {CellKind::kDff, CellKind::kScanDff, CellKind::kSramMacro}) {
+    EXPECT_GT(lib.cell(kind).setup_ps, 0.0);
+    EXPECT_GT(lib.cell(kind).clk_to_q_ps, 0.0);
+  }
+  EXPECT_GT(lib.cell(CellKind::kSramMacro).clk_to_q_ps, lib.cell(CellKind::kDff).clk_to_q_ps);
+}
+
+TEST(CellKind, Classification) {
+  EXPECT_TRUE(is_sequential(CellKind::kDff));
+  EXPECT_TRUE(is_sequential(CellKind::kScanDff));
+  EXPECT_FALSE(is_sequential(CellKind::kSramMacro));  // macro handled separately
+  EXPECT_TRUE(is_combinational(CellKind::kNand2));
+  EXPECT_TRUE(is_combinational(CellKind::kLevelShifter));
+  EXPECT_FALSE(is_combinational(CellKind::kDff));
+  EXPECT_FALSE(is_combinational(CellKind::kInput));
+}
+
+TEST(CellKind, DataInputCounts) {
+  EXPECT_EQ(num_data_inputs(CellKind::kInv), 1);
+  EXPECT_EQ(num_data_inputs(CellKind::kNand2), 2);
+  EXPECT_EQ(num_data_inputs(CellKind::kMux2), 3);
+  EXPECT_EQ(num_data_inputs(CellKind::kScanDff), 3);
+  EXPECT_EQ(num_data_inputs(CellKind::kInput), 0);
+}
+
+TEST(Tech3D, HeteroConfiguration) {
+  const Tech3D t = make_hetero_tech(6);
+  EXPECT_TRUE(t.heterogeneous);
+  EXPECT_EQ(t.bottom.node(), Node::kN16);
+  EXPECT_EQ(t.top.node(), Node::kN28);
+  EXPECT_DOUBLE_EQ(t.vdd_min(), 0.81);
+  EXPECT_EQ(t.beol_bottom.num_layers(), 6);
+  EXPECT_EQ(t.beol_top.num_layers(), 6);
+}
+
+TEST(Tech3D, HomoConfiguration) {
+  const Tech3D t = make_homo_tech(8);
+  EXPECT_FALSE(t.heterogeneous);
+  EXPECT_EQ(t.bottom.node(), Node::kN28);
+  EXPECT_EQ(t.top.node(), Node::kN28);
+  EXPECT_DOUBLE_EQ(t.vdd_min(), 0.9);
+}
+
+TEST(Tech3D, F2FViaMatchesPaper) {
+  const Tech3D t = make_hetero_tech(6);
+  // Paper Section IV-A: size 0.5um, pitch 1.0um, 0.5 Ohm, 0.2 fF.
+  EXPECT_DOUBLE_EQ(t.f2f.size_um, 0.5);
+  EXPECT_DOUBLE_EQ(t.f2f.pitch_um, 1.0);
+  EXPECT_DOUBLE_EQ(t.f2f.r_ohm, 0.5);
+  EXPECT_DOUBLE_EQ(t.f2f.c_ff, 0.2);
+}
+
+}  // namespace
