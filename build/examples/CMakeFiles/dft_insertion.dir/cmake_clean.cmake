@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_insertion.dir/dft_insertion.cpp.o"
+  "CMakeFiles/dft_insertion.dir/dft_insertion.cpp.o.d"
+  "dft_insertion"
+  "dft_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

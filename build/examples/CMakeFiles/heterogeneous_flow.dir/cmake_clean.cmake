@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_flow.dir/heterogeneous_flow.cpp.o"
+  "CMakeFiles/heterogeneous_flow.dir/heterogeneous_flow.cpp.o.d"
+  "heterogeneous_flow"
+  "heterogeneous_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_decide.dir/train_and_decide.cpp.o"
+  "CMakeFiles/train_and_decide.dir/train_and_decide.cpp.o.d"
+  "train_and_decide"
+  "train_and_decide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_decide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dft/dft_mls.cpp" "src/CMakeFiles/gnnmls.dir/dft/dft_mls.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/dft/dft_mls.cpp.o.d"
+  "/root/repo/src/dft/faults.cpp" "src/CMakeFiles/gnnmls.dir/dft/faults.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/dft/faults.cpp.o.d"
+  "/root/repo/src/dft/scan.cpp" "src/CMakeFiles/gnnmls.dir/dft/scan.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/dft/scan.cpp.o.d"
+  "/root/repo/src/floorplan/tier.cpp" "src/CMakeFiles/gnnmls.dir/floorplan/tier.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/floorplan/tier.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/gnnmls.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/dgi.cpp" "src/CMakeFiles/gnnmls.dir/ml/dgi.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/ml/dgi.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/CMakeFiles/gnnmls.dir/ml/layers.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/ml/layers.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/gnnmls.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/CMakeFiles/gnnmls.dir/ml/tensor.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/ml/tensor.cpp.o.d"
+  "/root/repo/src/ml/transformer.cpp" "src/CMakeFiles/gnnmls.dir/ml/transformer.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/ml/transformer.cpp.o.d"
+  "/root/repo/src/mls/features.cpp" "src/CMakeFiles/gnnmls.dir/mls/features.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/mls/features.cpp.o.d"
+  "/root/repo/src/mls/flow.cpp" "src/CMakeFiles/gnnmls.dir/mls/flow.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/mls/flow.cpp.o.d"
+  "/root/repo/src/mls/gnnmls.cpp" "src/CMakeFiles/gnnmls.dir/mls/gnnmls.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/mls/gnnmls.cpp.o.d"
+  "/root/repo/src/mls/labeler.cpp" "src/CMakeFiles/gnnmls.dir/mls/labeler.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/mls/labeler.cpp.o.d"
+  "/root/repo/src/mls/pathset.cpp" "src/CMakeFiles/gnnmls.dir/mls/pathset.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/mls/pathset.cpp.o.d"
+  "/root/repo/src/mls/sota.cpp" "src/CMakeFiles/gnnmls.dir/mls/sota.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/mls/sota.cpp.o.d"
+  "/root/repo/src/netlist/buffering.cpp" "src/CMakeFiles/gnnmls.dir/netlist/buffering.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/netlist/buffering.cpp.o.d"
+  "/root/repo/src/netlist/generators.cpp" "src/CMakeFiles/gnnmls.dir/netlist/generators.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/netlist/generators.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/gnnmls.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/pdn/irdrop.cpp" "src/CMakeFiles/gnnmls.dir/pdn/irdrop.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/pdn/irdrop.cpp.o.d"
+  "/root/repo/src/pdn/pdn.cpp" "src/CMakeFiles/gnnmls.dir/pdn/pdn.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/pdn/pdn.cpp.o.d"
+  "/root/repo/src/pdn/power.cpp" "src/CMakeFiles/gnnmls.dir/pdn/power.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/pdn/power.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/CMakeFiles/gnnmls.dir/place/placer.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/place/placer.cpp.o.d"
+  "/root/repo/src/route/grid.cpp" "src/CMakeFiles/gnnmls.dir/route/grid.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/route/grid.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/CMakeFiles/gnnmls.dir/route/router.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/route/router.cpp.o.d"
+  "/root/repo/src/sta/graph.cpp" "src/CMakeFiles/gnnmls.dir/sta/graph.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/sta/graph.cpp.o.d"
+  "/root/repo/src/sta/paths.cpp" "src/CMakeFiles/gnnmls.dir/sta/paths.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/sta/paths.cpp.o.d"
+  "/root/repo/src/tech/tech.cpp" "src/CMakeFiles/gnnmls.dir/tech/tech.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/tech/tech.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/gnnmls.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/gnnmls.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/gnnmls.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/gnnmls.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/gnnmls.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

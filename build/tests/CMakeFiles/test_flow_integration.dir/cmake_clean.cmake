@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_integration.dir/test_flow_integration.cpp.o"
+  "CMakeFiles/test_flow_integration.dir/test_flow_integration.cpp.o.d"
+  "test_flow_integration"
+  "test_flow_integration.pdb"
+  "test_flow_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

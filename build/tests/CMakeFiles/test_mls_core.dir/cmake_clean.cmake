@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mls_core.dir/test_mls_core.cpp.o"
+  "CMakeFiles/test_mls_core.dir/test_mls_core.cpp.o.d"
+  "test_mls_core"
+  "test_mls_core.pdb"
+  "test_mls_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_buffering[1]_include.cmake")
+include("/root/repo/build/tests/test_floorplan[1]_include.cmake")
+include("/root/repo/build/tests/test_place[1]_include.cmake")
+include("/root/repo/build/tests/test_route[1]_include.cmake")
+include("/root/repo/build/tests/test_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_training[1]_include.cmake")
+include("/root/repo/build/tests/test_mls_core[1]_include.cmake")
+include("/root/repo/build/tests/test_dft[1]_include.cmake")
+include("/root/repo/build/tests/test_pdn[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
