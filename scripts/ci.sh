@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests, sanitizer run, and the design-integrity lint.
+#
+#   scripts/ci.sh            # everything (three build trees)
+#   scripts/ci.sh --fast     # tier-1 + lint only, skip the sanitizer build
+#
+# Exits nonzero on the first failing stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> tier-1: build + ctest (build/)"
+cmake -B build -S . -DGNNMLS_WERROR=ON
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "==> lint gate: gnnmls_lint on the quickstart design (maeri16)"
+./build/tools/gnnmls_lint --design maeri16 --strategy sota
+./build/tools/gnnmls_lint --design maeri16 --strategy sota --with-dft
+
+if [[ "${FAST}" == "0" ]]; then
+  echo "==> sanitizers: ASan+UBSan build + full test suite (build-asan/)"
+  cmake -B build-asan -S . -DGNNMLS_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "${JOBS}"
+  # halt_on_error makes any UBSan report fail the run instead of logging past it.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+fi
+
+echo "==> ci.sh: all gates passed"

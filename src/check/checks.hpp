@@ -1,0 +1,69 @@
+// Fine-grained check entry points and the rule table.
+//
+// Each function validates one layer's invariants against the concrete
+// objects it needs (not the whole Snapshot), so tests can exercise a rule
+// with a hand-built netlist or grid without standing up a full flow. The
+// registry's default passes are thin Snapshot adapters around these.
+//
+// Rule id convention: <layer>-<nnn>. The full table (id, name, severity,
+// invariant) is all_rules(); DESIGN.md mirrors it.
+#pragma once
+
+#include <string_view>
+
+#include "check/registry.hpp"
+
+namespace gnnmls::check {
+
+// Rule lookup. `find_rule` returns nullptr for unknown ids.
+std::span<const RuleInfo> all_rules();
+const RuleInfo* find_rule(std::string_view id);
+
+// ---- netlist lint (NL-001..005) -------------------------------------------
+// Dangling input pins, multi-driver nets, unconnected cells, driverless
+// nets, broken pin<->net back-references.
+void check_netlist(const netlist::Netlist& nl, Report& report);
+
+// ---- STA (STA-001..003) ---------------------------------------------------
+// STA-001: the combinational pin graph is a DAG (independent Kahn sweep; the
+// TimingGraph constructor would throw on a cycle, so this runs pre-build).
+void check_sta_structure(const netlist::Netlist& nl, Report& report);
+// STA-002 monotone arrivals along worst_prev chains, STA-003 endpoints whose
+// backtrace does not terminate at a launch point. Requires a prior run().
+void check_sta_results(const sta::TimingGraph& sta_graph, const CheckOptions& options,
+                       Report& report);
+
+// ---- routing (RT-001..005) ------------------------------------------------
+// RT-001 gcell track overflow, RT-003 F2F pad overflow (pitch legality).
+void check_grid_capacity(const route::RoutingGrid& grid, Report& report);
+void check_f2f_capacity(const route::RoutingGrid& grid, Report& report);
+// RT-002 MLS routes actually use the other tier's shared top layers with a
+// legal F2F via count; RT-005 routes are parallel to the netlist (catches
+// timing/power read from stale routes after an ECO).
+void check_routes(const netlist::Design& design, const route::Router& router, Report& report);
+
+// ---- MLS decisions (MLS-001..002) -----------------------------------------
+// MLS-001: a net was routed with shared layers only if its flag was set.
+void check_mls_decisions(const netlist::Design& design, const route::Router& router,
+                         const std::vector<std::uint8_t>* mls_flags, Report& report);
+// MLS-002: the PathGraphs inference consumes agree with freshly recomputed
+// stage features (finite, physically sane, chain adjacency, valid net ids).
+void check_feature_agreement(const netlist::Design& design, const tech::Tech3D& tech,
+                             const route::Router& router, const sta::TimingGraph& sta_graph,
+                             const CheckOptions& options, Report& report);
+
+// ---- DFT (DFT-001..002) ---------------------------------------------------
+// Every MLS open connection is covered by a DFT cell (MUX or scan-FF) and
+// its driver is tapped for observation.
+void check_dft_coverage(const netlist::Netlist& nl, const dft::TestModel& model,
+                        Report& report);
+
+// ---- PDN / power domains (PDN-001..002) -----------------------------------
+void check_ir_budget(const pdn::PdnDesign& pdn_design, const CheckOptions& options,
+                     Report& report);
+// Heterogeneous stacks only: every cross-tier driver->sink connection must
+// land on a level-shifter input (0.9 V <-> 0.81 V domain crossing).
+void check_level_shifters(const netlist::Netlist& nl, const tech::Tech3D& tech,
+                          Report& report);
+
+}  // namespace gnnmls::check

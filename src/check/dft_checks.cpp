@@ -1,0 +1,76 @@
+// DFT coverage checks (DFT-001..002).
+//
+// Pre-bond, every MLS net is an open circuit (paper Figure 3). The test
+// model the insertion pass emits must close the hole from both sides:
+// downstream, the cut's sinks have to be re-driven through a bypass MUX or
+// scan-FF; upstream, the now-unobservable driver has to be tapped into the
+// scan chain. A net listed as open without either is a silent coverage hole
+// that fault simulation would mis-report as detected logic.
+#include <algorithm>
+
+#include "check/checks.hpp"
+
+namespace gnnmls::check {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+}  // namespace
+
+void check_dft_coverage(const netlist::Netlist& nl, const dft::TestModel& model,
+                        Report& report) {
+  const RuleInfo& uncovered = *find_rule("DFT-001");
+  const RuleInfo& unobserved = *find_rule("DFT-002");
+
+  for (Id n : model.open_nets) {
+    if (n >= nl.num_nets()) {
+      report.add(uncovered, "net n" + std::to_string(n), "open net id out of range");
+      continue;
+    }
+    const netlist::Net& net = nl.net(n);
+    // The cut boundary: after insertion, the open net's downstream side must
+    // reach a DFT cell (MUX bypass or scan-FF) so the sinks stay
+    // controllable during per-die test. Post-insertion repeater ECOs may
+    // splice buffers between the net and its DFT cell, so follow transparent
+    // buffer chains forward.
+    bool covered = false;
+    std::vector<Id> frontier{n};
+    std::vector<std::uint8_t> seen(nl.num_nets(), 0);
+    seen[n] = 1;
+    while (!frontier.empty() && !covered) {
+      const Id cur = frontier.back();
+      frontier.pop_back();
+      for (Id sp : nl.net(cur).sinks) {
+        const Id cell = nl.pin(sp).cell;
+        const tech::CellKind kind = nl.cell(cell).kind;
+        if (kind == tech::CellKind::kMux2 || kind == tech::CellKind::kScanDff) {
+          covered = true;
+          break;
+        }
+        if (kind != tech::CellKind::kBuf) continue;
+        const Id next = nl.pin(nl.output_pin(cell, 0)).net;
+        if (next != kNullId && !seen[next]) {
+          seen[next] = 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+    if (!covered)
+      report.add(uncovered, "net " + nl.net_name(n),
+                 "open MLS connection has no DFT MUX or scan-FF at the cut; its " +
+                     std::to_string(net.sinks.size()) + " sink(s) are uncontrollable pre-bond");
+
+    if (net.driver == kNullId) {
+      report.add(unobserved, "net " + nl.net_name(n), "open net has no driver to observe");
+      continue;
+    }
+    const bool observed = std::find(model.observe_pins.begin(), model.observe_pins.end(),
+                                    net.driver) != model.observe_pins.end();
+    if (!observed)
+      report.add(unobserved, "net " + nl.net_name(n),
+                 "driver of cell " + nl.cell_name(nl.pin(net.driver).cell) +
+                     " is not tapped for scan observation");
+  }
+}
+
+}  // namespace gnnmls::check

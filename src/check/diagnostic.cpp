@@ -1,0 +1,117 @@
+#include "check/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gnnmls::check {
+
+std::string fmt_num(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void Report::count(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: ++infos_; break;
+    case Severity::kWarning: ++warnings_; break;
+    case Severity::kError: ++errors_; break;
+  }
+}
+
+void Report::add(const RuleInfo& rule, std::string entity, std::string message) {
+  const std::size_t n = counts_[rule.id]++;
+  count(rule.severity);
+  if (n >= kMaxStoredPerRule) return;
+  Diagnostic d;
+  d.rule = rule.id;
+  d.severity = rule.severity;
+  d.entity = std::move(entity);
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+void Report::add(const RuleInfo& rule, std::string entity, std::string message, Location loc) {
+  add(rule, std::move(entity), std::move(message));
+  if (!diags_.empty() && diags_.back().rule == rule.id) {
+    diags_.back().has_location = true;
+    diags_.back().location = loc;
+  }
+}
+
+void Report::mark_pass_run(const std::string& pass_name) { passes_run_.push_back(pass_name); }
+
+void Report::mark_pass_skipped(const std::string& pass_name, const std::string& why) {
+  passes_skipped_.push_back(pass_name + " (" + why + ")");
+}
+
+std::size_t Report::rule_count(const std::string& rule_id) const {
+  const auto it = counts_.find(rule_id);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void Report::merge(const Report& other) {
+  for (const Diagnostic& d : other.diags_) {
+    // Re-capped: keep at most kMaxStoredPerRule stored per rule after merge.
+    std::size_t stored = 0;
+    for (const Diagnostic& mine : diags_)
+      if (mine.rule == d.rule) ++stored;
+    if (stored < kMaxStoredPerRule) diags_.push_back(d);
+  }
+  for (const auto& [id, n] : other.counts_) counts_[id] += n;
+  errors_ += other.errors_;
+  warnings_ += other.warnings_;
+  infos_ += other.infos_;
+  passes_run_.insert(passes_run_.end(), other.passes_run_.begin(), other.passes_run_.end());
+  passes_skipped_.insert(passes_skipped_.end(), other.passes_skipped_.begin(),
+                         other.passes_skipped_.end());
+}
+
+std::string Report::render(bool include_summary) const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << "[" << to_string(d.severity) << " " << d.rule << "] " << d.entity << ": "
+       << d.message;
+    if (d.has_location)
+      os << " (at " << d.location.x_um << ", " << d.location.y_um << " um)";
+    os << "\n";
+  }
+  for (const auto& [id, n] : counts_) {
+    if (n > kMaxStoredPerRule)
+      os << "[" << id << "] ... " << (n - kMaxStoredPerRule) << " further hits suppressed\n";
+  }
+  if (!include_summary) return os.str();
+
+  os << "\n";
+  os << "rule       count\n";
+  os << "---------- -----\n";
+  for (const auto& [id, n] : counts_) {
+    os << id;
+    for (std::size_t i = std::string(id).size(); i < 11; ++i) os << ' ';
+    os << n << "\n";
+  }
+  if (counts_.empty()) os << "(no diagnostics)\n";
+  os << "\npasses run:";
+  for (const std::string& p : passes_run_) os << " " << p;
+  if (passes_run_.empty()) os << " (none)";
+  os << "\n";
+  if (!passes_skipped_.empty()) {
+    os << "passes skipped:";
+    for (const std::string& p : passes_skipped_) os << " " << p;
+    os << "\n";
+  }
+  os << errors_ << " error(s), " << warnings_ << " warning(s), " << infos_ << " info\n";
+  return os.str();
+}
+
+}  // namespace gnnmls::check

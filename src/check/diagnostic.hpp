@@ -1,0 +1,89 @@
+// Diagnostics for the design-integrity checker.
+//
+// Every rule violation is one Diagnostic: a stable rule id ("NL-001"),
+// a severity, the entity it is anchored to ("net n42", "pin p17"), a
+// human-readable message, and an optional die location. A Report collects
+// them with per-rule caps (a broken invariant on a 10^5-cell design would
+// otherwise emit 10^5 identical lines) and renders the OpenROAD-style
+// summary the gnnmls_lint CLI prints. DESIGN.md lists every rule id and
+// the invariant it guards.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gnnmls::check {
+
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+std::string to_string(Severity severity);
+
+// Compact "%g" rendering for diagnostic messages (std::to_string pads
+// doubles to six decimals, which buries the signal in report lines).
+std::string fmt_num(double value);
+
+// Stable description of one check rule; the registry exposes the full table
+// so the CLI (--list-rules) and DESIGN.md can stay in sync with the code.
+struct RuleInfo {
+  const char* id;         // "NL-001"
+  const char* name;       // "dangling-pin"
+  Severity severity;      // severity this rule reports at
+  const char* invariant;  // one-line statement of what must hold
+};
+
+struct Location {
+  double x_um = 0.0;
+  double y_um = 0.0;
+};
+
+struct Diagnostic {
+  std::string rule;    // rule id, e.g. "NL-001"
+  Severity severity = Severity::kError;
+  std::string entity;  // "net n42", "cell u17", "gcell (3,9) M6 top"
+  std::string message;
+  bool has_location = false;
+  Location location;
+};
+
+class Report {
+ public:
+  // At most this many diagnostics are *stored* per rule; further hits are
+  // still counted (rule_count) but not materialized.
+  static constexpr std::size_t kMaxStoredPerRule = 16;
+
+  void add(const RuleInfo& rule, std::string entity, std::string message);
+  void add(const RuleInfo& rule, std::string entity, std::string message, Location loc);
+  // Record that a pass ran (even if it found nothing), for the summary.
+  void mark_pass_run(const std::string& pass_name);
+  void mark_pass_skipped(const std::string& pass_name, const std::string& why);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t rule_count(const std::string& rule_id) const;
+  const std::map<std::string, std::size_t>& per_rule_counts() const { return counts_; }
+  std::size_t errors() const { return errors_; }
+  std::size_t warnings() const { return warnings_; }
+  std::size_t total() const { return errors_ + warnings_ + infos_; }
+  bool clean() const { return errors_ == 0; }
+  const std::vector<std::string>& passes_run() const { return passes_run_; }
+  const std::vector<std::string>& passes_skipped() const { return passes_skipped_; }
+
+  // Merges another report into this one (counts, diagnostics, pass lists).
+  void merge(const Report& other);
+
+  // "[ERROR NL-001] net n42: floating input pin..." lines followed by a
+  // per-rule count table — the lint CLI's whole output.
+  std::string render(bool include_summary = true) const;
+
+ private:
+  void count(Severity severity);
+
+  std::vector<Diagnostic> diags_;
+  std::map<std::string, std::size_t> counts_;  // rule id -> total hits
+  std::size_t errors_ = 0, warnings_ = 0, infos_ = 0;
+  std::vector<std::string> passes_run_;
+  std::vector<std::string> passes_skipped_;  // "name (why)"
+};
+
+}  // namespace gnnmls::check

@@ -1,0 +1,95 @@
+// MLS decision-consistency and feature-agreement checks (MLS-001..002).
+#include <cmath>
+
+#include "check/checks.hpp"
+#include "mls/features.hpp"
+#include "sta/paths.hpp"
+
+namespace gnnmls::check {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+}  // namespace
+
+void check_mls_decisions(const netlist::Design& design, const route::Router& router,
+                         const std::vector<std::uint8_t>* mls_flags, Report& report) {
+  const RuleInfo& consistency = *find_rule("MLS-001");
+  const netlist::Netlist& nl = design.nl;
+  const std::vector<route::NetRoute>& routes = router.routes();
+  const std::size_t n = std::min<std::size_t>(routes.size(), nl.num_nets());
+
+  auto flagged = [&](Id net) {
+    return mls_flags && net < mls_flags->size() && (*mls_flags)[net] != 0;
+  };
+  for (Id net = 0; net < n; ++net) {
+    // Sharing is opt-in per net: the router may decline a flagged net (short
+    // edges, shared layers full — that is the targeted-routing fallback),
+    // but must never apply sharing to a net the decision stage left native.
+    if (routes[net].mls_applied && !flagged(net))
+      report.add(consistency, "net " + nl.net_name(net),
+                 "routed through shared layers without an MLS decision flag");
+  }
+}
+
+void check_feature_agreement(const netlist::Design& design, const tech::Tech3D& tech,
+                             const route::Router& router, const sta::TimingGraph& sta_graph,
+                             const CheckOptions& options, Report& report) {
+  const RuleInfo& agreement = *find_rule("MLS-002");
+
+  sta::PathExtractOptions popt;
+  popt.max_paths = options.feature_check_paths;
+  popt.include_near_critical = true;
+  const std::vector<sta::TimingPath> paths = sta::extract_paths(sta_graph, popt);
+
+  const double die_w = design.info.die_w_um, die_h = design.info.die_h_um;
+  int tag = 0;
+  for (const sta::TimingPath& path : paths) {
+    const ml::PathGraph g = mls::build_path_graph(design, tech, router, sta_graph, path, tag++);
+    if (g.net_ids.size() != path.stages.size()) {
+      report.add(agreement, "path to endpoint pin " + std::to_string(path.endpoint_pin),
+                 "graph has " + std::to_string(g.net_ids.size()) + " nodes for " +
+                     std::to_string(path.stages.size()) + " stages");
+      continue;
+    }
+    for (std::size_t i = 0; i < path.stages.size(); ++i) {
+      const sta::PathStage& stage = path.stages[i];
+      if (g.net_ids[i] != stage.net) {
+        report.add(agreement, "net " + design.nl.net_name(stage.net),
+                   "graph node " + std::to_string(i) + " carries a different net id");
+        continue;
+      }
+      const auto fresh = mls::stage_features(design, tech, router, sta_graph, stage);
+      for (int j = 0; j < mls::kNumFeatures; ++j) {
+        const double got = g.x.at(static_cast<int>(i), j);
+        const double want = fresh[static_cast<std::size_t>(j)];
+        if (!std::isfinite(got)) {
+          report.add(agreement, "net " + design.nl.net_name(stage.net),
+                     "feature " + std::to_string(j) + " is not finite");
+          break;
+        }
+        const double tol = options.feature_rel_tol * std::max(1.0, std::abs(want));
+        if (std::abs(got - want) > tol) {
+          report.add(agreement, "net " + design.nl.net_name(stage.net),
+                     "feature " + std::to_string(j) + " drifted: graph " +
+                         std::to_string(got) + " vs recomputed " + std::to_string(want));
+          break;
+        }
+      }
+      // Physical sanity: placement inside the die, nonnegative electricals.
+      const double x = g.x.at(static_cast<int>(i), 0), y = g.x.at(static_cast<int>(i), 1);
+      if (x < -1.0 || x > die_w + 1.0 || y < -1.0 || y > die_h + 1.0)
+        report.add(agreement, "cell " + design.nl.cell_name(stage.cell),
+                   "stage location (" + std::to_string(x) + ", " + std::to_string(y) +
+                       ") falls outside the die");
+      for (int j = 2; j < mls::kNumFeatures; ++j)
+        if (g.x.at(static_cast<int>(i), j) < 0.0) {
+          report.add(agreement, "net " + design.nl.net_name(stage.net),
+                     "feature " + std::to_string(j) + " is negative");
+          break;
+        }
+    }
+  }
+}
+
+}  // namespace gnnmls::check

@@ -1,0 +1,89 @@
+// Netlist lint (NL-001..005).
+//
+// Re-derives every structural invariant from scratch rather than trusting
+// Netlist::validate(): the point of the checker is to catch the substrate
+// lying to itself, so the lint builds its own pin->driven-net map instead of
+// reading the back-references it is auditing.
+#include "check/checks.hpp"
+
+namespace gnnmls::check {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+using netlist::PinDir;
+}  // namespace
+
+void check_netlist(const netlist::Netlist& nl, Report& report) {
+  const RuleInfo& dangling = *find_rule("NL-001");
+  const RuleInfo& multi_driver = *find_rule("NL-002");
+  const RuleInfo& unconnected = *find_rule("NL-003");
+  const RuleInfo& driverless = *find_rule("NL-004");
+  const RuleInfo& backref = *find_rule("NL-005");
+
+  // Independent census: how many nets claim each pin as their driver, and
+  // whether each input pin appears in some net's sink list.
+  std::vector<std::uint8_t> drives(nl.num_pins(), 0);
+  std::vector<std::uint8_t> sunk(nl.num_pins(), 0);
+
+  for (Id n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == kNullId) {
+      if (!net.sinks.empty())
+        report.add(driverless, "net " + nl.net_name(n),
+                   "no driver but " + std::to_string(net.sinks.size()) + " sink(s)");
+      continue;
+    }
+    const netlist::Pin& drv = nl.pin(net.driver);
+    if (drv.dir != PinDir::kOut)
+      report.add(multi_driver, "net " + nl.net_name(n), "driven by an input pin");
+    else if (drives[net.driver]++)
+      report.add(multi_driver, "pin of cell " + nl.cell_name(drv.cell),
+                 "output pin drives more than one net");
+    if (drv.net != n)
+      report.add(backref, "net " + nl.net_name(n),
+                 "driver pin's net back-reference points elsewhere");
+    for (Id sp : net.sinks) {
+      const netlist::Pin& sink = nl.pin(sp);
+      if (sink.dir != PinDir::kIn)
+        report.add(multi_driver, "net " + nl.net_name(n),
+                   "output pin of cell " + nl.cell_name(sink.cell) + " listed as sink");
+      else
+        sunk[sp] = 1;
+      if (sink.net != n)
+        report.add(backref, "net " + nl.net_name(n),
+                   "sink pin of cell " + nl.cell_name(sink.cell) +
+                       " back-references a different net");
+    }
+  }
+
+  for (Id c = 0; c < nl.num_cells(); ++c) {
+    if (nl.is_orphan(c)) continue;  // scan replacement leaves these; legal
+    const netlist::CellInst& cell = nl.cell(c);
+    const Location loc{cell.x_um, cell.y_um};
+    for (int i = 0; i < cell.num_in; ++i) {
+      const Id p = nl.input_pin(c, i);
+      if (nl.pin(p).net == kNullId || !sunk[p])
+        report.add(dangling, "cell " + nl.cell_name(c),
+                   "input pin " + std::to_string(i) + " (" + tech::to_string(cell.kind) +
+                       ") is not driven",
+                   loc);
+    }
+    // Dead logic: a combinational cell whose every output drives nothing.
+    // Ports are exempt, and so are sequential cells and SRAM macros: the
+    // generators build capture-only boundary registers (connected D, unused
+    // Q) by design, and those are endpoints, not dead logic.
+    if (!tech::is_combinational(cell.kind)) continue;
+    bool any_fanout = false;
+    for (int o = 0; o < cell.num_out; ++o) {
+      const Id p = nl.output_pin(c, o);
+      const Id net = nl.pin(p).net;
+      if (net != kNullId && !nl.net(net).sinks.empty()) any_fanout = true;
+    }
+    if (!any_fanout)
+      report.add(unconnected, "cell " + nl.cell_name(c),
+                 std::string(tech::to_string(cell.kind)) + " drives no sinks", loc);
+  }
+}
+
+}  // namespace gnnmls::check

@@ -1,0 +1,50 @@
+// PDN / power-domain checks (PDN-001..002).
+#include "check/checks.hpp"
+
+namespace gnnmls::check {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+}  // namespace
+
+void check_ir_budget(const pdn::PdnDesign& pdn_design, const CheckOptions& options,
+                     Report& report) {
+  const RuleInfo& budget = *find_rule("PDN-001");
+  // Tiny slop: synthesize_pdn stops at "meets budget", and the stored
+  // percentage has been through double round-trips.
+  if (pdn_design.worst_ir_pct > options.ir_budget_pct + 1e-6)
+    report.add(budget, "PDN",
+               "worst IR drop " + fmt_num(pdn_design.worst_ir_pct) +
+                   "% of min VDD exceeds the " + fmt_num(options.ir_budget_pct) + "% budget");
+  for (int tier = 0; tier < 2; ++tier)
+    if (pdn_design.utilization[tier] <= 0.0)
+      report.add(budget, std::string("tier ") + (tier == 0 ? "bot" : "top"),
+                 "PDN synthesized with zero strap utilization");
+}
+
+void check_level_shifters(const netlist::Netlist& nl, const tech::Tech3D& tech,
+                          Report& report) {
+  if (!tech.heterogeneous) return;  // single voltage: no shifters required
+  const RuleInfo& missing = *find_rule("PDN-002");
+
+  for (Id n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == kNullId) continue;
+    const std::uint8_t drv_tier = nl.cell(nl.pin(net.driver).cell).tier;
+    for (Id sp : net.sinks) {
+      const netlist::CellInst& sink = nl.cell(nl.pin(sp).cell);
+      if (sink.tier == drv_tier) continue;
+      // A domain crossing: legal only into a level shifter's input (the LS
+      // sits on the destination tier at the F2F landing point).
+      if (sink.kind != tech::CellKind::kLevelShifter)
+        report.add(missing, "net " + nl.net_name(n),
+                   "crosses from tier " + std::to_string(drv_tier) + " into " +
+                       std::string(tech::to_string(sink.kind)) + " cell " +
+                       nl.cell_name(nl.pin(sp).cell) + " without a level shifter",
+                   Location{sink.x_um, sink.y_um});
+    }
+  }
+}
+
+}  // namespace gnnmls::check

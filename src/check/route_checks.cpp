@@ -1,0 +1,99 @@
+// Routing checks (RT-001..005) and the MLS decision/feature checks
+// (MLS-001..002 live in mls_checks.cpp).
+#include <cmath>
+
+#include "check/checks.hpp"
+
+namespace gnnmls::check {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+
+std::string gcell_name(int tier, int layer, int x, int y) {
+  return "gcell (" + std::to_string(x) + "," + std::to_string(y) + ") M" +
+         std::to_string(layer + 1) + (tier == 0 ? " bot" : " top");
+}
+}  // namespace
+
+void check_grid_capacity(const route::RoutingGrid& grid, Report& report) {
+  const RuleInfo& overflow = *find_rule("RT-001");
+  for (int tier = 0; tier < 2; ++tier)
+    for (int layer = 0; layer < grid.num_layers(tier); ++layer)
+      for (int y = 0; y < grid.ny(); ++y)
+        for (int x = 0; x < grid.nx(); ++x) {
+          const float cap = grid.capacity(tier, layer, x, y);
+          const float use = grid.usage(tier, layer, x, y);
+          if (use > cap)
+            report.add(overflow, gcell_name(tier, layer, x, y),
+                       "track usage " + fmt_num(use) + " exceeds capacity " + fmt_num(cap));
+        }
+}
+
+void check_f2f_capacity(const route::RoutingGrid& grid, Report& report) {
+  const RuleInfo& overflow = *find_rule("RT-003");
+  for (int y = 0; y < grid.ny(); ++y)
+    for (int x = 0; x < grid.nx(); ++x) {
+      const float use = grid.f2f_usage(x, y);
+      if (use > grid.f2f_capacity())
+        report.add(overflow,
+                   "gcell (" + std::to_string(x) + "," + std::to_string(y) + ")",
+                   "F2F pad usage " + fmt_num(use) + " exceeds the pad-pitch cap " +
+                       fmt_num(grid.f2f_capacity()));
+    }
+}
+
+void check_routes(const netlist::Design& design, const route::Router& router, Report& report) {
+  const RuleInfo& shared_rule = *find_rule("RT-002");
+  const RuleInfo& stale = *find_rule("RT-005");
+  const netlist::Netlist& nl = design.nl;
+  const std::vector<route::NetRoute>& routes = router.routes();
+
+  if (routes.size() != nl.num_nets()) {
+    report.add(stale, "design " + design.info.name,
+               std::to_string(routes.size()) + " routes for " + std::to_string(nl.num_nets()) +
+                   " nets (netlist changed since route_all)");
+    return;  // indices below would be meaningless
+  }
+
+  const int shared_layers = router.options().shared_layers;
+  for (Id n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    const route::NetRoute& r = routes[n];
+    if (net.driver != kNullId && !net.sinks.empty() &&
+        r.sink_elmore_ps.size() != net.sinks.size()) {
+      report.add(stale, "net " + nl.net_name(n),
+                 std::to_string(r.sink_elmore_ps.size()) + " sink delays for " +
+                     std::to_string(net.sinks.size()) + " sinks (ECO without re-route)");
+      continue;
+    }
+    if (!r.mls_applied) continue;
+
+    const int home = (net.driver != kNullId) ? nl.cell(nl.pin(net.driver).cell).tier : 0;
+    const int other = home == 0 ? 1 : 0;
+    const std::uint8_t other_mask = r.layers_used[other];
+    if (other_mask == 0) {
+      report.add(shared_rule, "net " + nl.net_name(n),
+                 "marked mls_applied but uses no metal on the other tier");
+      continue;
+    }
+    // Shared routing is restricted to the other tier's top pairs: layers
+    // [top - shared_layers, top] (pair lows top-1..top-shared_layers).
+    const int top = router.grid().num_layers(other) - 1;
+    const int lowest_legal = std::max(0, top - shared_layers);
+    std::uint8_t legal_mask = 0;
+    for (int l = lowest_legal; l <= top; ++l)
+      legal_mask = static_cast<std::uint8_t>(legal_mask | (1u << l));
+    if ((other_mask & ~legal_mask) != 0)
+      report.add(shared_rule, "net " + nl.net_name(n),
+                 "shared segments use " + route::Router::describe_layers(r) +
+                     " below the legal shared pairs (M" + std::to_string(lowest_legal + 1) +
+                     "+ on the other tier)");
+    if (r.f2f_vias < 2)
+      report.add(shared_rule, "net " + nl.net_name(n),
+                 "shared route reports " + std::to_string(r.f2f_vias) +
+                     " F2F via(s); a round trip needs at least 2");
+  }
+}
+
+}  // namespace gnnmls::check

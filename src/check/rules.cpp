@@ -1,0 +1,55 @@
+#include "check/checks.hpp"
+
+namespace gnnmls::check {
+
+namespace {
+
+constexpr RuleInfo kRules[] = {
+    {"NL-001", "dangling-pin", Severity::kError,
+     "every input pin of a non-orphan cell is tied to a net"},
+    {"NL-002", "multi-driver", Severity::kError,
+     "every output pin drives at most one net and never appears as a sink"},
+    {"NL-003", "unconnected-cell", Severity::kWarning,
+     "every non-orphan logic cell's output drives at least one sink"},
+    {"NL-004", "driverless-net", Severity::kError, "every net with sinks has a driver"},
+    {"NL-005", "broken-backref", Severity::kError,
+     "pin->net back-references match the nets' driver/sink lists"},
+    {"STA-001", "comb-cycle", Severity::kError,
+     "the combinational pin graph is acyclic (STA topological order exists)"},
+    {"STA-002", "non-monotone-arrival", Severity::kError,
+     "arrival times never decrease along worst_prev chains"},
+    {"STA-003", "orphan-endpoint", Severity::kWarning,
+     "every endpoint's critical-path backtrace terminates at a launch point"},
+    {"RT-001", "grid-overflow", Severity::kWarning,
+     "gcell track usage stays within pitch-derived capacity per (tier, layer)"},
+    {"RT-002", "mls-shared-layers", Severity::kError,
+     "an MLS-routed net uses the other tier's top shared layers and >= 2 F2F vias"},
+    {"RT-003", "f2f-overflow", Severity::kWarning,
+     "F2F bond-pad usage per gcell stays within the pad-pitch capacity"},
+    {"RT-005", "stale-routes", Severity::kError,
+     "the route array is parallel to the netlist (no ECO without re-route)"},
+    {"MLS-001", "decision-consistency", Severity::kError,
+     "a net is routed with shared layers only when its MLS flag was set"},
+    {"MLS-002", "feature-agreement", Severity::kError,
+     "inference-time PathGraph features match recomputed stage features and are finite"},
+    {"DFT-001", "open-uncovered", Severity::kError,
+     "every MLS open connection is covered by a DFT MUX or scan-FF at the cut"},
+    {"DFT-002", "open-unobserved", Severity::kError,
+     "every MLS open net's driver is tapped for scan observation"},
+    {"PDN-001", "ir-budget", Severity::kError,
+     "worst static IR drop stays within the budget (10% of the lowest VDD)"},
+    {"PDN-002", "missing-level-shifter", Severity::kError,
+     "heterogeneous stacks: every cross-tier connection lands on a level-shifter input"},
+};
+
+}  // namespace
+
+std::span<const RuleInfo> all_rules() { return kRules; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& r : kRules)
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+}  // namespace gnnmls::check

@@ -1,0 +1,108 @@
+// STA checks (STA-001..003).
+//
+// STA-001 re-runs Kahn's algorithm over the same pin-arc rules the
+// TimingGraph uses, but standalone: the graph constructor throws on a
+// cycle, so the checker must be able to diagnose one without building it.
+#include "check/checks.hpp"
+
+namespace gnnmls::check {
+
+namespace {
+using netlist::Id;
+using netlist::kNullId;
+using netlist::PinDir;
+}  // namespace
+
+void check_sta_structure(const netlist::Netlist& nl, Report& report) {
+  const RuleInfo& cycle = *find_rule("STA-001");
+  const std::size_t np = nl.num_pins();
+
+  std::vector<std::uint32_t> indeg(np, 0);
+  for (Id c = 0; c < nl.num_cells(); ++c) {
+    const netlist::CellInst& cell = nl.cell(c);
+    const bool comb =
+        tech::is_combinational(cell.kind) || cell.kind == tech::CellKind::kOutput;
+    if (comb && cell.num_out > 0)
+      for (int o = 0; o < cell.num_out; ++o) indeg[nl.output_pin(c, o)] += cell.num_in;
+  }
+  for (Id n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.driver == kNullId) continue;
+    for (Id s : net.sinks) indeg[s] += 1;
+  }
+
+  std::vector<Id> queue;
+  queue.reserve(np);
+  for (Id p = 0; p < np; ++p)
+    if (indeg[p] == 0) queue.push_back(p);
+  std::size_t ordered = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Id p = queue[head];
+    ++ordered;
+    const netlist::Pin& pin = nl.pin(p);
+    if (pin.dir == PinDir::kIn) {
+      const netlist::CellInst& cell = nl.cell(pin.cell);
+      if (tech::is_combinational(cell.kind))
+        for (int o = 0; o < cell.num_out; ++o) {
+          const Id q = nl.output_pin(pin.cell, o);
+          if (--indeg[q] == 0) queue.push_back(q);
+        }
+    } else if (pin.net != kNullId) {
+      for (Id s : nl.net(pin.net).sinks)
+        if (--indeg[s] == 0) queue.push_back(s);
+    }
+  }
+  if (ordered == np) return;
+
+  // Pins left with nonzero in-degree sit on (or downstream of) a cycle; the
+  // Report stores the first few and counts the rest.
+  for (Id p = 0; p < np; ++p) {
+    if (indeg[p] == 0) continue;
+    const netlist::Pin& pin = nl.pin(p);
+    report.add(cycle, "cell " + nl.cell_name(pin.cell),
+               "pin unreachable in topological order (combinational cycle through " +
+                   std::string(tech::to_string(nl.cell(pin.cell).kind)) + ")");
+  }
+}
+
+void check_sta_results(const sta::TimingGraph& sta_graph, const CheckOptions& options,
+                       Report& report) {
+  const RuleInfo& monotone = *find_rule("STA-002");
+  const RuleInfo& orphan = *find_rule("STA-003");
+  const netlist::Netlist& nl = sta_graph.design().nl;
+  const std::size_t np = nl.num_pins();
+  constexpr double kUnreached = -1e17;
+
+  for (Id p = 0; p < np; ++p) {
+    const Id prev = sta_graph.worst_prev(p);
+    if (prev == kNullId) continue;
+    const double at = sta_graph.arrival_ps(p);
+    const double at_prev = sta_graph.arrival_ps(prev);
+    if (at < kUnreached || at_prev < kUnreached) continue;
+    if (at + options.arrival_eps_ps < at_prev)
+      report.add(monotone, "pin of cell " + nl.cell_name(nl.pin(p).cell),
+                 "arrival " + fmt_num(at) + " ps precedes predecessor's " + fmt_num(at_prev) +
+                     " ps (negative arc delay)");
+  }
+
+  for (Id p = 0; p < np; ++p) {
+    if (!sta_graph.is_endpoint(p)) continue;
+    if (nl.is_orphan(nl.pin(p).cell)) continue;  // left behind by scan replacement
+    // Backtrace the worst-arrival chain; it must terminate at a launch
+    // point: a primary input or a sequential/SRAM output.
+    Id walk = p;
+    std::size_t steps = 0;
+    while (sta_graph.worst_prev(walk) != kNullId && steps++ < np) walk = sta_graph.worst_prev(walk);
+    const netlist::Pin& term = nl.pin(walk);
+    const tech::CellKind kind = nl.cell(term.cell).kind;
+    const bool launches = term.dir == PinDir::kOut &&
+                          (kind == tech::CellKind::kInput || tech::is_sequential(kind) ||
+                           kind == tech::CellKind::kSramMacro);
+    if (!launches)
+      report.add(orphan, "endpoint at cell " + nl.cell_name(nl.pin(p).cell),
+                 "critical-path backtrace dead-ends at " +
+                     std::string(tech::to_string(kind)) + " cell " + nl.cell_name(term.cell));
+  }
+}
+
+}  // namespace gnnmls::check

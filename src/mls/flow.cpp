@@ -1,6 +1,7 @@
 #include "mls/flow.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "util/log.hpp"
 
@@ -38,8 +39,23 @@ DesignFlow::DesignFlow(netlist::Design design, const FlowConfig& config)
                  " buffers");
 }
 
+check::Report DesignFlow::run_checks() const {
+  check::Snapshot snapshot;
+  snapshot.design = &design_;
+  snapshot.tech = &tech_;
+  snapshot.router = router_.get();
+  snapshot.sta = sta_.get();
+  snapshot.pdn = pdn_ ? &*pdn_ : nullptr;
+  snapshot.mls_flags = &last_flags_;
+  snapshot.test_model = test_model_ ? &*test_model_ : nullptr;
+  snapshot.options = config_.checks;
+  snapshot.options.ir_budget_pct = config_.pdn.ir_budget_pct;
+  return check::CheckRegistry::with_default_passes().run(snapshot);
+}
+
 FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy) {
   const auto t0 = std::chrono::steady_clock::now();
+  last_flags_ = flags;
   const route::RouteSummary rs = router_->route_all(flags);
   if (!sta_) sta_ = std::make_unique<sta::TimingGraph>(design_, tech_, router_->routes());
   const sta::StaResult sr = sta_->run(design_.info.clock_ps, config_.clock_uncertainty_ps);
@@ -71,6 +87,18 @@ FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strateg
   m.runtime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   util::log_info("flow[", m.design, "/", m.strategy, "]: WNS ", m.wns_ps, " ps, TNS ",
                  m.tns_ns, " ns, vio ", m.violating, ", MLS nets ", m.mls_nets);
+  if (config_.strict_checks) {
+    const check::Report report = run_checks();
+    if (!report.clean()) {
+      util::log_error("flow[", m.design, "/", m.strategy, "]: strict checks failed\n",
+                      report.render());
+      throw std::runtime_error("design-integrity checks failed at stage boundary (" +
+                               m.strategy + "): " + std::to_string(report.errors()) +
+                               " error(s)");
+    }
+    util::log_debug("flow[", m.design, "/", m.strategy, "]: checks clean (",
+                    report.warnings(), " warning(s))");
+  }
   return m;
 }
 
@@ -98,6 +126,9 @@ DesignFlow::DftMetrics DesignFlow::evaluate_with_dft(const std::vector<std::uint
   out.scan_flops = scan.flops_replaced;
   dft::MlsDftReport dft_report = dft::insert_mls_dft(design_.nl, router_->routes(), style);
   out.dft_cells = dft_report.cells_added;
+  // From here on the checker audits the DFT pass too (evaluate() below runs
+  // it in strict mode, and run_checks() picks it up for callers).
+  test_model_ = dft_report.test_model;
   // Post-routing ECO (paper Section III-D: "Post-routing ECO adjustments
   // ensure that the timing impact of these solutions remains minimal"):
   // re-buffer the nets the DFT cells now drive.

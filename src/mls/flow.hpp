@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "check/registry.hpp"
 #include "dft/dft_mls.hpp"
 #include "dft/scan.hpp"
 #include "floorplan/tier.hpp"
@@ -40,6 +41,11 @@ struct FlowConfig {
   pdn::PowerOptions power;
   SotaOptions sota;
   bool run_pdn = true;  // PDN synthesis + IR analysis (Tables IV, Fig 9)
+  // Run the design-integrity checker (src/check/) at every evaluate()
+  // boundary and fail fast (throw) on error-severity diagnostics. Off by
+  // default: benches measure the flow, not the auditor.
+  bool strict_checks = false;
+  check::CheckOptions checks;
 };
 
 // One row of the paper's PPA tables.
@@ -91,6 +97,12 @@ class DesignFlow {
   // call after evaluate_no_mls() to label against the baseline.
   Corpus corpus(const CorpusOptions& options, int design_tag = 0) const;
 
+  // Runs every registered integrity pass (src/check/) over the current flow
+  // state: netlist lint always; routing/STA/MLS/PDN/DFT rules once the
+  // corresponding stage has produced state. evaluate() calls this itself
+  // when config.strict_checks is set and throws if the report has errors.
+  check::Report run_checks() const;
+
   // ---- testable-design evaluation (Tables III and VI) --------------------
   // Inserts full scan plus the chosen MLS DFT style for the given flags,
   // ECO-re-routes, re-times, and fault-simulates the pre-bond test.
@@ -115,6 +127,9 @@ class DesignFlow {
   std::optional<pdn::PdnDesign> pdn_;
   netlist::BufferingReport buffering_report_;
   std::size_t level_shifters_ = 0;
+  // Checker inputs remembered from the most recent evaluate()/DFT insertion.
+  std::vector<std::uint8_t> last_flags_;
+  std::optional<dft::TestModel> test_model_;
 };
 
 // Trains one engine the way the paper does (Section II-B): pooled unlabeled

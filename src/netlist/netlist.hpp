@@ -84,6 +84,12 @@ class Netlist {
   // enumeration.
   bool is_orphan(Id cell) const;
 
+  // Overwrites the net's driver field directly, bypassing every construction
+  // guard above. Exists so the integrity checker (src/check/) can be
+  // exercised against exactly the corrupt states the normal API refuses to
+  // build; never call it from flow code.
+  void corrupt_driver_for_test(Id net, Id pin) { nets_[net].driver = pin; }
+
   // ---- accessors ---------------------------------------------------------
   std::size_t num_cells() const { return cells_.size(); }
   std::size_t num_nets() const { return nets_.size(); }

@@ -1,0 +1,180 @@
+// gnnmls_lint: standalone design-integrity checker.
+//
+// Generates one of the paper's benchmark designs, drives it through the
+// pseudo-3D flow (optionally with SOTA sharing and/or DFT insertion), runs
+// every registered check pass over the resulting state, and prints an
+// OpenROAD-style diagnostics report with per-rule counts. Exit status is 0
+// when no error-severity diagnostic fired, 1 otherwise — wire it into CI
+// next to the unit tests (scripts/ci.sh does).
+//
+//   $ gnnmls_lint --design maeri16 --strategy sota
+//   $ gnnmls_lint --list-rules
+//   $ gnnmls_lint --inject dangling-pin        # demo: NL-001 must fire
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "check/checks.hpp"
+#include "mls/flow.hpp"
+#include "util/log.hpp"
+
+using namespace gnnmls;
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: gnnmls_lint [options]\n"
+               "  --design NAME    maeri16 | maeri128 | maeri256 | a7-single | a7-dual |\n"
+               "                   random   (default maeri16)\n"
+               "  --seed N         generator seed override\n"
+               "  --strategy S     none | sota   (default none)\n"
+               "  --homo           homogeneous 28nm+28nm stack (default heterogeneous)\n"
+               "  --no-pdn         skip PDN synthesis and the IR-budget check\n"
+               "  --with-dft       insert scan + wire-based MLS DFT, then check it\n"
+               "  --inject FAULT   corrupt the design first, to demo a rule:\n"
+               "                   dangling-pin | multi-driver | dead-cell\n"
+               "  --list-rules     print the rule table and exit\n"
+               "  --verbose        flow progress on stderr\n");
+}
+
+netlist::Design make_design(const std::string& name, std::uint64_t seed) {
+  if (name == "maeri16") return netlist::make_maeri_16pe(seed ? seed : 11);
+  if (name == "maeri128") return netlist::make_maeri_128pe(seed ? seed : 12);
+  if (name == "maeri256") return netlist::make_maeri_256pe(seed ? seed : 13);
+  if (name == "a7-single") return netlist::make_a7_single_core(seed ? seed : 14);
+  if (name == "a7-dual") return netlist::make_a7_dual_core(seed ? seed : 15);
+  if (name == "random") {
+    netlist::RandomDagParams params;
+    params.two_tier = true;
+    if (seed) params.seed = seed;
+    return netlist::make_random_dag(params);
+  }
+  std::fprintf(stderr, "gnnmls_lint: unknown design '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+// Pre-flow corruption used to demonstrate (and CI-exercise) the checker's
+// negative paths without a netlist file format to feed it broken input.
+void inject(netlist::Design& design, const std::string& fault) {
+  netlist::Netlist& nl = design.nl;
+  if (fault == "dangling-pin") {
+    // A NAND with both inputs floating but its output wired up (a fully
+    // disconnected cell would be an orphan, which the lint rightly skips):
+    // NL-001 twice, plus NL-003 on the buffer it feeds.
+    const netlist::Id nand = nl.add_cell(tech::CellKind::kNand2, 0, 10.0f, 10.0f);
+    const netlist::Id buf = nl.add_cell(tech::CellKind::kBuf, 0, 12.0f, 10.0f);
+    nl.connect(nand, 0, buf, 0);
+  } else if (fault == "multi-driver") {
+    // Point a second net at an existing driver pin (the construction API
+    // refuses; the corruption hook bypasses it): NL-002, plus NL-005 for the
+    // pin's stale back-reference.
+    for (netlist::Id n = 0; n < nl.num_nets(); ++n) {
+      if (nl.net(n).driver == netlist::kNullId) continue;
+      const netlist::Id dup = nl.add_net();
+      const netlist::Id sink = nl.add_cell(tech::CellKind::kBuf, 0, 5.0f, 5.0f);
+      nl.add_sink(dup, nl.input_pin(sink, 0));
+      nl.corrupt_driver_for_test(dup, nl.net(n).driver);
+      break;
+    }
+  } else if (fault == "dead-cell") {
+    // Driven but driving nothing: NL-003.
+    const netlist::Id cell = nl.add_cell(tech::CellKind::kInv, 0, 20.0f, 20.0f);
+    for (netlist::Id n = 0; n < nl.num_nets(); ++n)
+      if (nl.net(n).driver != netlist::kNullId) {
+        nl.add_sink(n, nl.input_pin(cell, 0));
+        break;
+      }
+  } else {
+    std::fprintf(stderr, "gnnmls_lint: unknown injection '%s'\n", fault.c_str());
+    std::exit(2);
+  }
+}
+
+void list_rules() {
+  std::printf("%-9s %-22s %-8s %s\n", "id", "name", "severity", "invariant");
+  for (const check::RuleInfo& r : check::all_rules())
+    std::printf("%-9s %-22s %-8s %s\n", r.id, r.name, check::to_string(r.severity).c_str(),
+                r.invariant);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string design_name = "maeri16";
+  std::string strategy = "none";
+  std::string injection;
+  std::uint64_t seed = 0;
+  bool hetero = true, run_pdn = true, with_dft = false, verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gnnmls_lint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--design") design_name = value();
+    else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--strategy") strategy = value();
+    else if (arg == "--homo") hetero = false;
+    else if (arg == "--no-pdn") run_pdn = false;
+    else if (arg == "--with-dft") with_dft = true;
+    else if (arg == "--inject") injection = value();
+    else if (arg == "--list-rules") { list_rules(); return 0; }
+    else if (arg == "--verbose") verbose = true;
+    else if (arg == "--help" || arg == "-h") { usage(stdout); return 0; }
+    else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (strategy != "none" && strategy != "sota") {
+    std::fprintf(stderr, "gnnmls_lint: unknown strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+
+  util::set_log_level(verbose ? util::LogLevel::kInfo : util::LogLevel::kWarn);
+
+  netlist::Design design = make_design(design_name, seed);
+  if (!injection.empty()) inject(design, injection);
+  std::printf("gnnmls_lint: %s (%zu cells, %zu nets), %s stack, strategy %s%s%s\n",
+              design.info.name.c_str(), design.nl.num_cells(), design.nl.num_nets(),
+              hetero ? "heterogeneous" : "homogeneous", strategy.c_str(),
+              with_dft ? ", with DFT" : "",
+              injection.empty() ? "" : (" -- injected " + injection).c_str());
+
+  mls::FlowConfig config;
+  config.heterogeneous = hetero;
+  config.run_pdn = run_pdn;
+  mls::DesignFlow flow(std::move(design), config);
+
+  const std::vector<std::uint8_t> flags =
+      (strategy == "sota") ? mls::sota_select(flow.design(), config.sota)
+                           : std::vector<std::uint8_t>{};
+  const mls::Strategy tag = (strategy == "sota") ? mls::Strategy::kSota : mls::Strategy::kNone;
+  try {
+    if (with_dft)
+      flow.evaluate_with_dft(flags, tag, dft::MlsDftStyle::kWireBased);
+    else
+      flow.evaluate(flags, tag);
+  } catch (const std::exception& e) {
+    // A corrupt netlist can kill the flow mid-stage (e.g. a multi-driver net
+    // stalls the STA topological sort). Diagnosing that is this tool's job,
+    // so fall through and lint whatever state exists.
+    std::fprintf(stderr, "gnnmls_lint: flow aborted: %s -- linting partial state\n",
+                 e.what());
+  }
+
+  const check::Report report = flow.run_checks();
+  std::fputs(report.render().c_str(), stdout);
+  if (!report.clean()) {
+    std::printf("gnnmls_lint: FAILED (%zu error(s))\n", report.errors());
+    return 1;
+  }
+  std::printf("gnnmls_lint: clean\n");
+  return 0;
+}
