@@ -22,6 +22,15 @@ echo "==> lint gate: gnnmls_lint on the quickstart design (maeri16)"
 ./build/tools/gnnmls_lint --design maeri16 --strategy sota
 ./build/tools/gnnmls_lint --design maeri16 --strategy sota --with-dft
 
+echo "==> perf smoke: incremental-ECO microbenchmarks on MAERI-16PE"
+# Exercises the full-route baseline against the incremental paths
+# (Router::reroute_nets / TimingGraph::update) and records the numbers; the
+# gate is that the cases run to completion, the JSON is for trend tracking.
+./build/bench/bench_micro \
+  --benchmark_filter='BM_RouteAll|BM_RerouteEco|BM_StaFullRun|BM_StaIncremental' \
+  --benchmark_out=BENCH_incremental.json --benchmark_out_format=json \
+  --benchmark_min_time=0.05
+
 if [[ "${FAST}" == "0" ]]; then
   echo "==> sanitizers: ASan+UBSan build + full test suite (build-asan/)"
   cmake -B build-asan -S . -DGNNMLS_SANITIZE=address,undefined \

@@ -49,7 +49,18 @@ void check_routes(const netlist::Design& design, const route::Router& router, Re
   const netlist::Netlist& nl = design.nl;
   const std::vector<route::NetRoute>& routes = router.routes();
 
-  if (routes.size() != nl.num_nets()) {
+  // Primary staleness signal: the router stamps the netlist revision it last
+  // routed against, so any journaled mutation since then fires exactly —
+  // including ones the old size heuristic missed (e.g. a re-driven net keeps
+  // its sink count but invalidates the committed geometry).
+  if (router.routed_revision() != 0 && router.routed_revision() != nl.revision()) {
+    report.add(stale, "design " + design.info.name,
+               "routes committed at netlist revision " +
+                   std::to_string(router.routed_revision()) + " but the netlist is at " +
+                   std::to_string(nl.revision()) + " (ECO without re-route)");
+    if (routes.size() != nl.num_nets()) return;  // indices below would be meaningless
+  } else if (routes.size() != nl.num_nets()) {
+    // Fallback for routers driven outside the revisioned flow.
     report.add(stale, "design " + design.info.name,
                std::to_string(routes.size()) + " routes for " + std::to_string(nl.num_nets()) +
                    " nets (netlist changed since route_all)");

@@ -27,7 +27,7 @@ constexpr RuleInfo kRules[] = {
     {"RT-003", "f2f-overflow", Severity::kWarning,
      "F2F bond-pad usage per gcell stays within the pad-pitch capacity"},
     {"RT-005", "stale-routes", Severity::kError,
-     "the route array is parallel to the netlist (no ECO without re-route)"},
+     "routes were committed at the current netlist revision (no ECO without re-route)"},
     {"MLS-001", "decision-consistency", Severity::kError,
      "a net is routed with shared layers only when its MLS flag was set"},
     {"MLS-002", "feature-agreement", Severity::kError,

@@ -1,0 +1,136 @@
+#include "core/design_db.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gnnmls::core {
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kNetlist: return "netlist";
+    case Stage::kPlacement: return "placement";
+    case Stage::kRoutes: return "routes";
+    case Stage::kTiming: return "timing";
+    case Stage::kPower: return "power";
+    case Stage::kPdn: return "pdn";
+    case Stage::kTest: return "test";
+  }
+  return "?";
+}
+
+Stage upstream_of(Stage s) {
+  switch (s) {
+    case Stage::kNetlist: return Stage::kNetlist;  // root
+    case Stage::kPlacement: return Stage::kNetlist;
+    case Stage::kRoutes: return Stage::kPlacement;
+    case Stage::kTiming: return Stage::kRoutes;
+    case Stage::kPower: return Stage::kRoutes;
+    case Stage::kPdn: return Stage::kRoutes;
+    // The test model refers to net ids (open_nets/observe_pins), so it is
+    // pinned to the netlist, not to a particular routing.
+    case Stage::kTest: return Stage::kNetlist;
+  }
+  return Stage::kNetlist;
+}
+
+DesignDB::DesignDB(netlist::Design design, const tech::Tech3D& tech)
+    : design_(std::move(design)), tech_(&tech) {}
+
+std::uint64_t DesignDB::revision(Stage s) const {
+  // The +1 keeps an untouched netlist (revision 0 in the journal) distinct
+  // from the "never built" tag value 0.
+  if (s == Stage::kNetlist) return design_.nl.revision() + 1;
+  return tag(s).revision;
+}
+
+bool DesignDB::built(Stage s) const {
+  if (s == Stage::kNetlist) return true;
+  return tag(s).revision != 0;
+}
+
+bool DesignDB::fresh(Stage s) const {
+  if (s == Stage::kNetlist) return true;
+  if (!built(s)) return false;
+  const Stage up = upstream_of(s);
+  if (tag(s).built_from != revision(up)) return false;
+  if (s == Stage::kRoutes && !dirty_.empty()) return false;
+  return fresh(up);
+}
+
+std::uint64_t DesignDB::commit(Stage s) {
+  if (s == Stage::kNetlist)
+    throw std::logic_error("the netlist stage versions itself (mutation journal)");
+  StageTag& t = tags_[static_cast<std::size_t>(s)];
+  t.revision = ++counter_;
+  t.built_from = revision(upstream_of(s));
+  if (s == Stage::kRoutes) dirty_.clear();
+  return t.revision;
+}
+
+void DesignDB::invalidate(Stage s) {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const Stage candidate = static_cast<Stage>(i);
+    if (candidate == Stage::kNetlist) continue;
+    // Invalidate `candidate` when s lies on its upstream chain (or is it).
+    Stage walk = candidate;
+    while (true) {
+      if (walk == s) {
+        tags_[i] = StageTag{};
+        break;
+      }
+      const Stage up = upstream_of(walk);
+      if (up == walk) break;
+      walk = up;
+    }
+  }
+}
+
+void DesignDB::touch_net(netlist::Id net) {
+  const auto it = std::lower_bound(dirty_.begin(), dirty_.end(), net);
+  if (it != dirty_.end() && *it == net) return;
+  dirty_.insert(it, net);
+}
+
+void DesignDB::touch_nets(std::span<const netlist::Id> nets) {
+  for (const netlist::Id n : nets) touch_net(n);
+}
+
+void DesignDB::touch_journal_since(std::size_t mark) {
+  const std::span<const netlist::Id> journal = design_.nl.journal();
+  if (mark > journal.size()) return;
+  touch_nets(journal.subspan(mark));
+}
+
+std::vector<netlist::Id> DesignDB::take_dirty_nets() {
+  std::vector<netlist::Id> out;
+  out.swap(dirty_);
+  return out;
+}
+
+route::Router& DesignDB::router(const route::RouterOptions& options) {
+  if (!router_) router_ = std::make_unique<route::Router>(design_, *tech_, options);
+  return *router_;
+}
+
+sta::TimingGraph& DesignDB::timing() {
+  if (!router_)
+    throw std::logic_error("DesignDB::timing needs the router's routes; route first");
+  if (!sta_ || sta_built_at_ != design_.nl.revision()) {
+    sta_ = std::make_unique<sta::TimingGraph>(design_, *tech_, router_->routes());
+    sta_built_at_ = design_.nl.revision();
+    invalidate(Stage::kTiming);
+  }
+  return *sta_;
+}
+
+const sta::TimingGraph* DesignDB::timing_if_fresh() const {
+  if (!sta_ || sta_built_at_ != design_.nl.revision()) return nullptr;
+  return sta_.get();
+}
+
+sta::TimingGraph* DesignDB::timing_if_fresh() {
+  if (!sta_ || sta_built_at_ != design_.nl.revision()) return nullptr;
+  return sta_.get();
+}
+
+}  // namespace gnnmls::core

@@ -1,0 +1,137 @@
+// DesignDB: versioned stage artifacts for one design (paper Figure 4 as
+// explicit state).
+//
+// The flow's pipeline — netlist -> placement -> routes -> timing -> power /
+// PDN (-> test model) — used to live as hidden mutable members of DesignFlow
+// with comment-enforced lifetimes ("valid after the first evaluate()",
+// sta_.reset() as the ECO protocol). The DesignDB makes the hand-offs
+// explicit: it owns the design and every downstream artifact, tags each
+// stage with a monotonically increasing revision plus the upstream revision
+// it was built from, and tracks a dirty-net set between routing commits.
+//
+// That buys two things:
+//   * Staleness is decidable, not heuristic: a stage is fresh() iff its
+//     whole upstream chain is unchanged since it was committed, and RT-005
+//     becomes a revision comparison instead of an array-size guess.
+//   * Incremental ECO: the dirty-net set (fed from the netlist's mutation
+//     journal or touch_nets()) is exactly what Router::reroute_nets() and
+//     TimingGraph::update() need to repair only what changed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dft/faults.hpp"
+#include "netlist/generators.hpp"
+#include "pdn/pdn.hpp"
+#include "pdn/power.hpp"
+#include "route/router.hpp"
+#include "sta/graph.hpp"
+#include "tech/tech.hpp"
+
+namespace gnnmls::core {
+
+// Pipeline stages, in dependency order. Each stage's artifact is built from
+// its upstream_of() stage (kNetlist is the root and always "built").
+enum class Stage : std::uint8_t {
+  kNetlist = 0,
+  kPlacement,
+  kRoutes,
+  kTiming,
+  kPower,
+  kPdn,
+  kTest,
+};
+inline constexpr std::size_t kNumStages = 7;
+
+const char* to_string(Stage s);
+Stage upstream_of(Stage s);
+
+struct StageTag {
+  std::uint64_t revision = 0;    // 0 = artifact never built
+  std::uint64_t built_from = 0;  // upstream revision at commit time
+};
+
+class DesignDB {
+ public:
+  // Takes ownership of the (prepared, placed) design. `tech` must outlive
+  // the DB. Non-movable: the router/timing artifacts hold references into
+  // design_.
+  DesignDB(netlist::Design design, const tech::Tech3D& tech);
+  DesignDB(const DesignDB&) = delete;
+  DesignDB& operator=(const DesignDB&) = delete;
+
+  netlist::Design& design() { return design_; }
+  const netlist::Design& design() const { return design_; }
+  const tech::Tech3D& tech() const { return *tech_; }
+
+  // ---- revisions ---------------------------------------------------------
+  // kNetlist reads through to the netlist's own mutation journal; every
+  // other stage reports its last commit.
+  std::uint64_t revision(Stage s) const;
+  const StageTag& tag(Stage s) const { return tags_[static_cast<std::size_t>(s)]; }
+  bool built(Stage s) const;
+  // Fresh = built, and the entire upstream chain is unchanged since the
+  // commit. kRoutes additionally requires an empty dirty-net set.
+  bool fresh(Stage s) const;
+  // Marks the stage (re)built against the current upstream revision and
+  // returns the new revision. commit(kRoutes) also clears the dirty set.
+  std::uint64_t commit(Stage s);
+  // Drops the stage's artifact tag and, transitively, every stage downstream
+  // of it. (kNetlist itself cannot be invalidated; its downstream can.)
+  void invalidate(Stage s);
+
+  // ---- dirty-net set -----------------------------------------------------
+  void touch_net(netlist::Id net);
+  void touch_nets(std::span<const netlist::Id> nets);
+  // Cursor into the netlist's mutation journal; absorb everything recorded
+  // after `mark` into the dirty set with touch_journal_since().
+  std::size_t journal_mark() const { return design_.nl.journal_size(); }
+  void touch_journal_since(std::size_t mark);
+  // Sorted, deduplicated.
+  const std::vector<netlist::Id>& dirty_nets() const { return dirty_; }
+  bool dirty() const { return !dirty_.empty(); }
+  std::vector<netlist::Id> take_dirty_nets();
+
+  // ---- artifacts ---------------------------------------------------------
+  // Created on first use with the given options (later calls ignore them).
+  route::Router& router(const route::RouterOptions& options = {});
+  const route::Router* router_if_built() const { return router_.get(); }
+  // The timing graph, rebuilt automatically when the netlist revision moved
+  // since the last build (its pin topology is frozen at construction).
+  // Requires the router to exist with routes parallel to the netlist.
+  sta::TimingGraph& timing();
+  // Non-rebuilding view for read-only consumers (checker, corpus): null
+  // until built, and null again once the netlist left it behind.
+  const sta::TimingGraph* timing_if_fresh() const;
+  sta::TimingGraph* timing_if_fresh();
+
+  void set_power(const pdn::PowerReport& report) { power_ = report; }
+  const std::optional<pdn::PowerReport>& power() const { return power_; }
+  void set_pdn(pdn::PdnDesign pdn) { pdn_ = std::move(pdn); }
+  const pdn::PdnDesign* pdn() const { return pdn_ ? &*pdn_ : nullptr; }
+  void set_test_model(dft::TestModel model) { test_model_ = std::move(model); }
+  const dft::TestModel* test_model() const { return test_model_ ? &*test_model_ : nullptr; }
+  void set_mls_flags(std::vector<std::uint8_t> flags) { mls_flags_ = std::move(flags); }
+  const std::vector<std::uint8_t>& mls_flags() const { return mls_flags_; }
+
+ private:
+  netlist::Design design_;
+  const tech::Tech3D* tech_;
+  std::array<StageTag, kNumStages> tags_{};
+  std::uint64_t counter_ = 0;  // revision source for committed stages
+  std::vector<netlist::Id> dirty_;
+  std::unique_ptr<route::Router> router_;
+  std::unique_ptr<sta::TimingGraph> sta_;
+  std::uint64_t sta_built_at_ = 0;  // netlist revision at TimingGraph build
+  std::optional<pdn::PowerReport> power_;
+  std::optional<pdn::PdnDesign> pdn_;
+  std::optional<dft::TestModel> test_model_;
+  std::vector<std::uint8_t> mls_flags_;
+};
+
+}  // namespace gnnmls::core

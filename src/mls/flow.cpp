@@ -16,38 +16,53 @@ std::string to_string(Strategy s) {
   return "?";
 }
 
-DesignFlow::DesignFlow(netlist::Design design, const FlowConfig& config)
-    : design_(std::move(design)), config_(config) {
-  tech_ = config_.heterogeneous ? tech::make_hetero_tech(design_.info.beol_layers)
-                                : tech::make_homo_tech(design_.info.beol_layers);
-  buffering_report_ = netlist::insert_buffer_trees(design_.nl, config_.buffering);
-  if (config_.heterogeneous) {
-    const floorplan::LevelShifterReport ls = floorplan::insert_level_shifters(design_.nl);
-    level_shifters_ = ls.inserted;
+netlist::Design DesignFlow::prepare(netlist::Design design, const FlowConfig& config,
+                                    const tech::Tech3D& tech,
+                                    netlist::BufferingReport& buffering,
+                                    std::size_t& level_shifters) {
+  buffering = netlist::insert_buffer_trees(design.nl, config.buffering);
+  if (config.heterogeneous) {
+    const floorplan::LevelShifterReport ls = floorplan::insert_level_shifters(design.nl);
+    level_shifters = ls.inserted;
     // LS insertion re-drives cross-tier sinks through new nets; give those
     // the same repeater treatment as everything else.
     const netlist::BufferingReport rep =
-        netlist::insert_repeaters_only(design_.nl, config_.buffering.max_unbuffered_um);
-    buffering_report_.repeaters_added += rep.repeaters_added;
+        netlist::insert_repeaters_only(design.nl, config.buffering.max_unbuffered_um);
+    buffering.repeaters_added += rep.repeaters_added;
   }
-  place::place(design_, tech_, config_.placer);
-  router_ = std::make_unique<route::Router>(design_, tech_, config_.router);
-  // Router and STA state become valid at the first evaluate().
-  util::log_info("flow[", design_.info.name, "]: ", design_.nl.num_cells(), " cells, ",
-                 design_.nl.num_nets(), " nets, ", level_shifters_, " level shifters, ",
+  place::place(design, tech, config.placer);
+  return design;
+}
+
+DesignFlow::DesignFlow(netlist::Design design, const FlowConfig& config)
+    : config_(config),
+      tech_(config.heterogeneous ? tech::make_hetero_tech(design.info.beol_layers)
+                                 : tech::make_homo_tech(design.info.beol_layers)),
+      db_(prepare(std::move(design), config_, tech_, buffering_report_, level_shifters_),
+          tech_) {
+  // Build the router eagerly: its construction reserves PDN/CTS tracks, and
+  // callers poke at flow.router() for trials before the first evaluate().
+  db_.router(config_.router);
+  db_.commit(core::Stage::kPlacement);  // prepare() placed the design
+  util::log_info("flow[", db_.design().info.name, "]: ", db_.design().nl.num_cells(), " cells, ",
+                 db_.design().nl.num_nets(), " nets, ", level_shifters_, " level shifters, ",
                  buffering_report_.buffers_added + buffering_report_.repeaters_added,
                  " buffers");
 }
 
 check::Report DesignFlow::run_checks() const {
+  // The snapshot is assembled from the DesignDB's artifacts; a timing graph
+  // the netlist has moved past is withheld (it indexes a stale pin space),
+  // while stale routes are handed over on purpose — RT-005's revision
+  // comparison exists to catch exactly that.
   check::Snapshot snapshot;
-  snapshot.design = &design_;
+  snapshot.design = &db_.design();
   snapshot.tech = &tech_;
-  snapshot.router = router_.get();
-  snapshot.sta = sta_.get();
-  snapshot.pdn = pdn_ ? &*pdn_ : nullptr;
-  snapshot.mls_flags = &last_flags_;
-  snapshot.test_model = test_model_ ? &*test_model_ : nullptr;
+  snapshot.router = db_.router_if_built();
+  snapshot.sta = db_.timing_if_fresh();
+  snapshot.pdn = db_.pdn();
+  snapshot.mls_flags = &db_.mls_flags();
+  snapshot.test_model = db_.test_model();
   snapshot.options = config_.checks;
   snapshot.options.ir_budget_pct = config_.pdn.ir_budget_pct;
   return check::CheckRegistry::with_default_passes().run(snapshot);
@@ -55,17 +70,31 @@ check::Report DesignFlow::run_checks() const {
 
 FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy) {
   const auto t0 = std::chrono::steady_clock::now();
-  last_flags_ = flags;
-  const route::RouteSummary rs = router_->route_all(flags);
-  if (!sta_) sta_ = std::make_unique<sta::TimingGraph>(design_, tech_, router_->routes());
-  const sta::StaResult sr = sta_->run(design_.info.clock_ps, config_.clock_uncertainty_ps);
-  const pdn::PowerReport pr =
-      pdn::estimate_power(design_, tech_, router_->routes(), config_.power);
-  if (config_.run_pdn)
-    pdn_ = pdn::synthesize_pdn(design_, tech_, router_->routes(), config_.pdn);
+  db_.set_mls_flags(flags);
+  const route::RouteSummary rs = db_.router(config_.router).route_all(flags);
+  db_.commit(core::Stage::kRoutes);
+  return finish_evaluate(t0, strategy, rs);
+}
+
+FlowMetrics DesignFlow::finish_evaluate(std::chrono::steady_clock::time_point t0,
+                                        Strategy strategy, const route::RouteSummary& rs) {
+  const netlist::Design& design = db_.design();
+  route::Router& router = db_.router(config_.router);
+  // timing() rebuilds the graph when the netlist revision moved since the
+  // last build — the full-rebuild fallback of the incremental ECO story.
+  sta::TimingGraph& sta_graph = db_.timing();
+  const sta::StaResult sr = sta_graph.run(design.info.clock_ps, config_.clock_uncertainty_ps);
+  db_.commit(core::Stage::kTiming);
+  const pdn::PowerReport pr = pdn::estimate_power(design, tech_, router.routes(), config_.power);
+  db_.set_power(pr);
+  db_.commit(core::Stage::kPower);
+  if (config_.run_pdn) {
+    db_.set_pdn(pdn::synthesize_pdn(design, tech_, router.routes(), config_.pdn));
+    db_.commit(core::Stage::kPdn);
+  }
 
   FlowMetrics m;
-  m.design = design_.info.name;
+  m.design = design.info.name;
   m.strategy = to_string(strategy);
   m.wl_m = rs.total_wl_m;
   m.wns_ps = sr.wns_ps;
@@ -78,11 +107,11 @@ FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strateg
   m.ls_power_mw = pr.ls_mw;
   m.eff_freq_mhz = sr.effective_freq_mhz;
   m.overflow_gcells = rs.census.overflow_gcells;
-  if (pdn_) {
-    m.ir_drop_pct = pdn_->worst_ir_pct;
-    m.pdn_width_um = pdn_->strap_width_um[1];
-    m.pdn_pitch_um = pdn_->strap_pitch_um[1];
-    m.pdn_util = pdn_->utilization[1];
+  if (const pdn::PdnDesign* p = db_.pdn()) {
+    m.ir_drop_pct = p->worst_ir_pct;
+    m.pdn_width_um = p->strap_width_um[1];
+    m.pdn_pitch_um = p->strap_pitch_um[1];
+    m.pdn_util = p->utilization[1];
   }
   m.runtime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   util::log_info("flow[", m.design, "/", m.strategy, "]: WNS ", m.wns_ps, " ps, TNS ",
@@ -106,45 +135,77 @@ FlowMetrics DesignFlow::evaluate_gnn(GnnMlsEngine& engine, const CorpusOptions& 
   // Decisions are made against the no-MLS baseline state (the paper's flow
   // runs inference at the routing stage, before sharing is applied).
   evaluate_no_mls();
+  // The decision stage is part of the strategy's cost: time it and fold it
+  // into the reported row, so the "Ours" runtime column is honest.
+  const auto t0 = std::chrono::steady_clock::now();
   const std::vector<std::uint8_t> flags =
-      engine.decide(design_, tech_, *router_, *sta_, corpus_opts);
-  return evaluate(flags, Strategy::kGnn);
+      engine.decide(db_.design(), tech_, db_.router(config_.router), db_.timing(), corpus_opts);
+  const double decide_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  FlowMetrics m = evaluate(flags, Strategy::kGnn);
+  m.runtime_s += decide_s;
+  return m;
 }
 
 Corpus DesignFlow::corpus(const CorpusOptions& options, int design_tag) const {
-  return build_corpus(design_, tech_, *router_, *sta_, design_tag, options);
+  const route::Router* router = db_.router_if_built();
+  const sta::TimingGraph* sta_graph = db_.timing_if_fresh();
+  if (!router || !sta_graph)
+    throw std::logic_error("corpus() needs routed + timed state; call evaluate() first");
+  return build_corpus(db_.design(), tech_, *router, *sta_graph, design_tag, options);
 }
 
 DesignFlow::DftMetrics DesignFlow::evaluate_with_dft(const std::vector<std::uint8_t>& flags,
                                                      Strategy strategy,
                                                      dft::MlsDftStyle style) {
   DftMetrics out;
-  // Route with the MLS decisions first so the DFT pass can see which nets
-  // actually used shared layers (insertion is post-routing, Figure 4).
-  router_->route_all(flags);
-  const dft::ScanReport scan = dft::insert_full_scan(design_.nl);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Route ONCE with the MLS decisions so the DFT pass can see which nets
+  // actually used shared layers (insertion is post-routing, Figure 4). The
+  // insertion then dirties only the nets it cuts; there is no second full
+  // route_all.
+  db_.set_mls_flags(flags);
+  route::Router& router = db_.router(config_.router);
+  router.route_all(flags);
+  db_.commit(core::Stage::kRoutes);
+
+  // DFT insertion mutates the netlist; the mutation-journal delta is the
+  // dirty-net set for the ECO.
+  netlist::Netlist& nl = db_.design().nl;
+  const std::size_t mark = db_.journal_mark();
+  const dft::ScanReport scan = dft::insert_full_scan(nl);
   out.scan_flops = scan.flops_replaced;
-  dft::MlsDftReport dft_report = dft::insert_mls_dft(design_.nl, router_->routes(), style);
+  dft::MlsDftReport dft_report = dft::insert_mls_dft(nl, router.routes(), style);
   out.dft_cells = dft_report.cells_added;
-  // From here on the checker audits the DFT pass too (evaluate() below runs
-  // it in strict mode, and run_checks() picks it up for callers).
-  test_model_ = dft_report.test_model;
   // Post-routing ECO (paper Section III-D: "Post-routing ECO adjustments
   // ensure that the timing impact of these solutions remains minimal"):
   // re-buffer the nets the DFT cells now drive.
-  netlist::insert_repeaters_only(design_.nl, config_.buffering.max_unbuffered_um);
+  netlist::insert_repeaters_only(nl, config_.buffering.max_unbuffered_um);
+  // From here on the checker audits the DFT pass too (finish_evaluate runs
+  // it in strict mode, and run_checks() picks it up for callers).
+  db_.set_test_model(dft_report.test_model);
+  db_.commit(core::Stage::kTest);
+  // The insertion passes place their own cells; declare placement updated
+  // rather than re-running the placer over the whole design.
+  db_.commit(core::Stage::kPlacement);
+  db_.touch_journal_since(mark);
 
-  // ECO: the netlist changed, so re-route and rebuild the timing graph.
-  sta_.reset();
-  out.flow = evaluate(flags, strategy);
+  // Incremental ECO: rip up and re-route only the touched nets (nets added
+  // since the last route are implicitly dirty); the surviving grid state is
+  // kept. The netlist revision moved, so finish_evaluate's timing() takes
+  // the full-rebuild fallback for the graph.
+  const std::vector<netlist::Id> dirty = db_.take_dirty_nets();
+  const route::RouteSummary rs = router.reroute_nets(dirty, flags, route::RerouteMode::kEco);
+  db_.commit(core::Stage::kRoutes);
+  out.flow = finish_evaluate(t0, strategy, rs);
 
   dft::FaultSimOptions fopt;
-  dft::FaultSimulator sim(design_.nl, dft_report.test_model, fopt);
+  dft::FaultSimulator sim(nl, dft_report.test_model, fopt);
   const dft::FaultSimResult fr = sim.run();
   out.total_faults = fr.total_faults;
   out.detected_faults = fr.detected;
   out.coverage = fr.coverage();
-  util::log_info("dft[", design_.info.name, "]: ", fr.detected, "/", fr.total_faults,
+  util::log_info("dft[", db_.design().info.name, "]: ", fr.detected, "/", fr.total_faults,
                  " faults detected (", fr.coverage() * 100.0, "%), ", out.scan_flops,
                  " scan flops, ", out.dft_cells, " DFT cells");
   return out;

@@ -11,11 +11,13 @@
 // identical starting conditions.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "check/registry.hpp"
+#include "core/design_db.hpp"
 #include "dft/dft_mls.hpp"
 #include "dft/scan.hpp"
 #include "floorplan/tier.hpp"
@@ -66,7 +68,8 @@ struct FlowMetrics {
   double pdn_width_um = 0.0;   // top-layer strap width (memory die)
   double pdn_pitch_um = 0.0;
   double pdn_util = 0.0;
-  double runtime_s = 0.0;      // flow wall-clock (routing + STA [+ ML])
+  double runtime_s = 0.0;      // flow wall-clock: routing + STA (+ PDN), and
+                               // for the GNN strategy the decision stage too
   std::size_t overflow_gcells = 0;
 };
 
@@ -80,18 +83,22 @@ class DesignFlow {
 
   // Convenience wrappers.
   FlowMetrics evaluate_no_mls() { return evaluate({}, Strategy::kNone); }
-  FlowMetrics evaluate_sota() { return evaluate(sota_select(design_, config_.sota), Strategy::kSota); }
+  FlowMetrics evaluate_sota() { return evaluate(sota_select(design(), config_.sota), Strategy::kSota); }
   FlowMetrics evaluate_gnn(GnnMlsEngine& engine,
                            const CorpusOptions& corpus = CorpusOptions{4000, true, 60.0, false, {}});
 
   // Baseline state access (valid after any evaluate): used for corpus
-  // building and labeling against the no-MLS routing.
-  const netlist::Design& design() const { return design_; }
+  // building and labeling against the no-MLS routing. These forward into
+  // the DesignDB, which owns every stage artifact; sta() rebuilds the graph
+  // transparently if the netlist moved past it.
+  const netlist::Design& design() const { return db_.design(); }
   const tech::Tech3D& tech() const { return tech_; }
-  route::Router& router() { return *router_; }
-  sta::TimingGraph& sta() { return *sta_; }
+  route::Router& router() { return db_.router(config_.router); }
+  sta::TimingGraph& sta() { return db_.timing(); }
   const FlowConfig& config() const { return config_; }
-  const pdn::PdnDesign* pdn_design() const { return pdn_ ? &*pdn_ : nullptr; }
+  const pdn::PdnDesign* pdn_design() const { return db_.pdn(); }
+  core::DesignDB& db() { return db_; }
+  const core::DesignDB& db() const { return db_; }
 
   // Builds a (optionally labeled) corpus against the CURRENT routing state;
   // call after evaluate_no_mls() to label against the baseline.
@@ -104,9 +111,11 @@ class DesignFlow {
   check::Report run_checks() const;
 
   // ---- testable-design evaluation (Tables III and VI) --------------------
-  // Inserts full scan plus the chosen MLS DFT style for the given flags,
-  // ECO-re-routes, re-times, and fault-simulates the pre-bond test.
-  // MUTATES the design permanently; run it as the flow's final step.
+  // Routes once with the given flags, inserts full scan plus the chosen MLS
+  // DFT style, incrementally re-routes only the nets the insertion touched
+  // (RerouteMode::kEco on the DB's dirty set), re-times, and fault-simulates
+  // the pre-bond test. MUTATES the design permanently; run it as the flow's
+  // final step.
   struct DftMetrics {
     FlowMetrics flow;
     std::size_t total_faults = 0;
@@ -119,17 +128,25 @@ class DesignFlow {
                                dft::MlsDftStyle style);
 
  private:
-  netlist::Design design_;
+  // Netlist prep shared by the constructor: fanout buffering, level shifters
+  // (hetero), repeaters, placement. Fills the report fields it is passed.
+  static netlist::Design prepare(netlist::Design design, const FlowConfig& config,
+                                 const tech::Tech3D& tech,
+                                 netlist::BufferingReport& buffering,
+                                 std::size_t& level_shifters);
+  // STA + power (+ PDN) + metrics assembly + strict checks over the routes
+  // currently committed in the DB. Shared by evaluate() and the DFT ECO.
+  FlowMetrics finish_evaluate(std::chrono::steady_clock::time_point t0, Strategy strategy,
+                              const route::RouteSummary& rs);
+
   FlowConfig config_;
   tech::Tech3D tech_;
-  std::unique_ptr<route::Router> router_;
-  std::unique_ptr<sta::TimingGraph> sta_;
-  std::optional<pdn::PdnDesign> pdn_;
   netlist::BufferingReport buffering_report_;
   std::size_t level_shifters_ = 0;
-  // Checker inputs remembered from the most recent evaluate()/DFT insertion.
-  std::vector<std::uint8_t> last_flags_;
-  std::optional<dft::TestModel> test_model_;
+  // Owns the design and every stage artifact (router, timing graph, power,
+  // PDN, test model, MLS flags), with per-stage revisions; declared after
+  // the fields prepare() fills so the member-init order works out.
+  core::DesignDB db_;
 };
 
 // Trains one engine the way the paper does (Section II-B): pooled unlabeled

@@ -44,12 +44,17 @@ Id Netlist::add_cell(tech::CellKind kind, std::uint8_t tier, float x_um, float y
   for (std::uint16_t i = 0; i < c.num_out; ++i)
     pins_.push_back(Pin{cell_id, kNullId, PinDir::kOut, i});
   cells_.push_back(c);
+  // A new cell changes the pin population (STA topology) even before it is
+  // wired up, so it moves the revision without touching any net.
+  ++revision_;
   return cell_id;
 }
 
 Id Netlist::add_net() {
   nets_.push_back(Net{});
-  return static_cast<Id>(nets_.size() - 1);
+  const Id id = static_cast<Id>(nets_.size() - 1);
+  note_net_touched(id);
+  return id;
 }
 
 void Netlist::set_driver(Id net, Id pin) {
@@ -58,6 +63,7 @@ void Netlist::set_driver(Id net, Id pin) {
   if (pins_[pin].net != kNullId) throw std::logic_error("output pin already drives a net");
   nets_[net].driver = pin;
   pins_[pin].net = net;
+  note_net_touched(net);
 }
 
 void Netlist::add_sink(Id net, Id pin) {
@@ -65,6 +71,7 @@ void Netlist::add_sink(Id net, Id pin) {
   if (pins_[pin].net != kNullId) throw std::logic_error("input pin already connected");
   nets_[net].sinks.push_back(pin);
   pins_[pin].net = net;
+  note_net_touched(net);
 }
 
 void Netlist::detach_sink(Id net, Id pin) {
@@ -73,6 +80,7 @@ void Netlist::detach_sink(Id net, Id pin) {
   if (it == sinks.end()) throw std::logic_error("pin is not a sink of net");
   sinks.erase(it);
   pins_[pin].net = kNullId;
+  note_net_touched(net);
 }
 
 void Netlist::detach_driver(Id net) {
@@ -80,6 +88,7 @@ void Netlist::detach_driver(Id net) {
   if (drv == kNullId) return;
   pins_[drv].net = kNullId;
   nets_[net].driver = kNullId;
+  note_net_touched(net);
 }
 
 bool Netlist::is_orphan(Id cell_id) const {

@@ -88,7 +88,22 @@ class Netlist {
   // guard above. Exists so the integrity checker (src/check/) can be
   // exercised against exactly the corrupt states the normal API refuses to
   // build; never call it from flow code.
-  void corrupt_driver_for_test(Id net, Id pin) { nets_[net].driver = pin; }
+  void corrupt_driver_for_test(Id net, Id pin) {
+    nets_[net].driver = pin;
+    note_net_touched(net);
+  }
+
+  // ---- mutation journal --------------------------------------------------
+  // Every structural mutation (cell added, net created/rewired) bumps the
+  // revision; connectivity mutations additionally append the affected net id
+  // to the journal. core::DesignDB diffs journal marks to derive the dirty
+  // net set for incremental ECO, and the router/checker compare revisions to
+  // detect routes built against a stale netlist (RT-005).
+  std::uint64_t revision() const { return revision_; }
+  std::size_t journal_size() const { return journal_.size(); }
+  // Net ids touched since construction, in mutation order; duplicates are
+  // possible (callers dedup). Slice with a saved journal_size() mark.
+  std::span<const Id> journal() const { return journal_; }
 
   // ---- accessors ---------------------------------------------------------
   std::size_t num_cells() const { return cells_.size(); }
@@ -134,9 +149,16 @@ class Netlist {
   std::span<const Net> nets() const { return nets_; }
 
  private:
+  void note_net_touched(Id net) {
+    ++revision_;
+    journal_.push_back(net);
+  }
+
   std::vector<CellInst> cells_;
   std::vector<Net> nets_;
   std::vector<Pin> pins_;
+  std::uint64_t revision_ = 0;
+  std::vector<Id> journal_;
 };
 
 }  // namespace gnnmls::netlist

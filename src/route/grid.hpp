@@ -55,6 +55,16 @@ class RoutingGrid {
   // (PDN straps). Call before routing.
   void reserve_layer_fraction(int tier, int layer, double fraction);
 
+  // Flat-index access, used by the router's per-net commit footprints so a
+  // rip-up can subtract exactly the usage a commit added. Usage counts are
+  // whole-number sums of 1.0f, so add/subtract round-trips are exact.
+  std::size_t track_index(int tier, int layer, int x, int y) const {
+    return idx(tier, layer, x, y);
+  }
+  std::size_t f2f_index(int x, int y) const { return idx2(x, y); }
+  void add_usage_at(std::size_t i, float amount) { use_[i] += amount; }
+  void add_f2f_at(std::size_t i, float amount) { f2f_use_[i] += amount; }
+
   // Aggregate congestion census.
   struct Census {
     std::size_t overflow_gcells = 0;   // gcell-layers with usage > capacity

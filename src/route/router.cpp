@@ -34,6 +34,17 @@ struct EdgeChoice {
   double overflow = 0.0;  // max usage/capacity seen along the edge
 };
 
+// Value equality of two routed results, used by reroute_nets to report which
+// nets actually moved (exact compare: a replayed net that sees the identical
+// congestion state must reproduce the identical route).
+bool net_route_equal(const NetRoute& a, const NetRoute& b) {
+  return a.wl_um == b.wl_um && a.res_ohm == b.res_ohm && a.cap_ff == b.cap_ff &&
+         a.load_ff == b.load_ff && a.detour == b.detour &&
+         a.layers_used[0] == b.layers_used[0] && a.layers_used[1] == b.layers_used[1] &&
+         a.f2f_vias == b.f2f_vias && a.mls_applied == b.mls_applied &&
+         a.worst_overflow == b.worst_overflow && a.sink_elmore_ps == b.sink_elmore_ps;
+}
+
 }  // namespace
 
 Router::Router(const netlist::Design& design, const tech::Tech3D& tech,
@@ -117,7 +128,11 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
       const double cong = grid_.congestion(tier, layer, x, y);
       penalty += penalty_w * cong * cong;
       *max_over = std::max(*max_over, cong);
-      if (do_commit) grid_.add_usage(tier, layer, x, y, 1.0f);
+      if (do_commit) {
+        const std::size_t i = grid_.track_index(tier, layer, x, y);
+        grid_.add_usage_at(i, 1.0f);
+        if (commit_rec_) commit_rec_->tracks.push_back(static_cast<std::uint32_t>(i));
+      }
     };
     const int xs = std::min(gx1, gx2), xe = std::max(gx1, gx2);
     for (int x = xs; x <= xe; ++x) visit(hlayer, x, gy1);
@@ -274,7 +289,13 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
       walk(pick.route_tier, hlayer, vlayer, gx1, gy1, gx2, gy2, true, &dummy);
       if (pick.f2f > 0) {
         grid_.add_f2f(gx1, gy1, 1.0f);
-        if (pick.f2f > 1) grid_.add_f2f(gx2, gy2, 1.0f);
+        if (commit_rec_)
+          commit_rec_->f2f.push_back(static_cast<std::uint32_t>(grid_.f2f_index(gx1, gy1)));
+        if (pick.f2f > 1) {
+          grid_.add_f2f(gx2, gy2, 1.0f);
+          if (commit_rec_)
+            commit_rec_->f2f.push_back(static_cast<std::uint32_t>(grid_.f2f_index(gx2, gy2)));
+        }
       }
     }
   }
@@ -337,38 +358,152 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
   return out;
 }
 
-RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
-  const netlist::Netlist& nl = design_.nl;
-  grid_.clear_usage();
-  routes_.assign(nl.num_nets(), NetRoute{});
-
+std::vector<Id> Router::route_order(const std::vector<std::uint8_t>& mls_flags) const {
   // Order: MLS nets first (targeted routing reserves their shared tracks),
   // longest first; then the rest, shortest first (locality preservation).
+  // The net-id tie-break makes the order a total function of (flags, hpwl),
+  // which is what lets RerouteMode::kReplay reproduce route_all exactly.
+  const netlist::Netlist& nl = design_.nl;
   std::vector<Id> order(nl.num_nets());
   std::iota(order.begin(), order.end(), 0u);
   std::vector<float> hpwl(nl.num_nets());
   for (Id i = 0; i < nl.num_nets(); ++i) hpwl[i] = static_cast<float>(nl.net_hpwl_um(i));
-  auto flagged = [&](Id i) {
-    return !mls_flags.empty() && i < mls_flags.size() && mls_flags[i] != 0;
-  };
   std::sort(order.begin(), order.end(), [&](Id x, Id y) {
-    const bool fx = flagged(x), fy = flagged(y);
+    const bool fx = flag_of(mls_flags, x), fy = flag_of(mls_flags, y);
     if (fx != fy) return fx;                     // MLS nets first
-    if (fx) return hpwl[x] > hpwl[y];            // long MLS first
-    return hpwl[x] < hpwl[y];                    // short native first
+    if (hpwl[x] != hpwl[y]) return fx ? hpwl[x] > hpwl[y] : hpwl[x] < hpwl[y];
+    return x < y;
   });
+  return order;
+}
 
+RouteSummary Router::summarize() const {
   RouteSummary summary;
-  for (Id net : order) {
-    routes_[net] = route_net(net, flagged(net), /*commit=*/true);
-    summary.total_wl_m += routes_[net].wl_um * 1e-6;
-    if (routes_[net].mls_applied) ++summary.mls_nets;
-    summary.f2f_pairs += routes_[net].f2f_vias;
+  for (const NetRoute& r : routes_) {
+    summary.total_wl_m += r.wl_um * 1e-6;
+    if (r.mls_applied) ++summary.mls_nets;
+    summary.f2f_pairs += r.f2f_vias;
   }
   summary.census = grid_.census();
+  return summary;
+}
+
+void Router::rip_up(Id net) {
+  NetCommit& c = commits_[net];
+  for (const std::uint32_t i : c.tracks) grid_.add_usage_at(i, -1.0f);
+  for (const std::uint32_t i : c.f2f) grid_.add_f2f_at(i, -1.0f);
+  c.tracks.clear();
+  c.f2f.clear();
+  routes_[net] = NetRoute{};
+}
+
+RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
+  const netlist::Netlist& nl = design_.nl;
+  grid_.clear_usage();
+  routes_.assign(nl.num_nets(), NetRoute{});
+  // clear(), not assign: keeps every footprint vector's capacity, so repeat
+  // route_all calls (every evaluate) record commits allocation-free.
+  commits_.resize(nl.num_nets());
+  for (NetCommit& c : commits_) {
+    c.tracks.clear();
+    c.f2f.clear();
+  }
+  mls_flags_ = mls_flags;
+
+  for (Id net : route_order(mls_flags_)) {
+    commit_rec_ = &commits_[net];
+    routes_[net] = route_net(net, flag_of(mls_flags_, net), /*commit=*/true);
+    commit_rec_ = nullptr;
+  }
+  routed_revision_ = nl.revision();
+  const RouteSummary summary = summarize();
   util::log_debug("router: WL ", summary.total_wl_m, " m, MLS nets ", summary.mls_nets,
                   ", overflow gcells ", summary.census.overflow_gcells);
   return summary;
+}
+
+RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty,
+                                  const std::vector<std::uint8_t>& mls_flags,
+                                  RerouteMode mode) {
+  const netlist::Netlist& nl = design_.nl;
+  const std::size_t n = nl.num_nets();
+  const std::size_t old_n = routes_.size();
+  const std::vector<std::uint8_t> old_flags = mls_flags_;
+  routes_.resize(n);
+  commits_.resize(n);
+
+  // Dirty set: the caller's nets plus everything added since the last route.
+  std::vector<std::uint8_t> is_dirty(n, 0);
+  for (const Id d : dirty)
+    if (d < n) is_dirty[d] = 1;
+  for (std::size_t i = old_n; i < n; ++i) is_dirty[i] = 1;
+
+  std::vector<float> hpwl(n);
+  for (Id i = 0; i < n; ++i) hpwl[i] = static_cast<float>(nl.net_hpwl_um(i));
+  auto less = [&](Id x, Id y, const std::vector<std::uint8_t>& flags) {
+    const bool fx = flag_of(flags, x), fy = flag_of(flags, y);
+    if (fx != fy) return fx;
+    if (hpwl[x] != hpwl[y]) return fx ? hpwl[x] > hpwl[y] : hpwl[x] < hpwl[y];
+    return x < y;
+  };
+
+  std::vector<Id> affected;
+  if (mode == RerouteMode::kReplay) {
+    // A net may keep its committed route only if NO dirty net precedes it in
+    // either the old or the new route order: then the congestion it was
+    // committed against is exactly what a clean-grid route_all(mls_flags)
+    // would present, and replaying the rest in order reproduces route_all
+    // bit for bit. (dmin_* are the earliest-ordered dirty nets; anything
+    // ordered after either of them gets ripped up and replayed.)
+    Id dmin_old = kNullId, dmin_new = kNullId;
+    for (Id i = 0; i < n; ++i) {
+      if (!is_dirty[i]) continue;
+      if (dmin_new == kNullId || less(i, dmin_new, mls_flags)) dmin_new = i;
+      if (i < old_n && (dmin_old == kNullId || less(i, dmin_old, old_flags))) dmin_old = i;
+    }
+    if (dmin_new == kNullId) return summarize();  // nothing dirty
+    for (Id i = 0; i < n; ++i) {
+      const bool keep = !is_dirty[i] &&
+                        (dmin_old == kNullId || less(i, dmin_old, old_flags)) &&
+                        less(i, dmin_new, mls_flags);
+      if (!keep) affected.push_back(i);
+    }
+  } else {
+    for (Id i = 0; i < n; ++i)
+      if (is_dirty[i]) affected.push_back(i);
+    if (affected.empty()) {
+      mls_flags_ = mls_flags;
+      routed_revision_ = nl.revision();
+      return summarize();
+    }
+  }
+  std::sort(affected.begin(), affected.end(),
+            [&](Id x, Id y) { return less(x, y, mls_flags); });
+
+  std::vector<NetRoute> before;
+  before.reserve(affected.size());
+  for (const Id i : affected) before.push_back(routes_[i]);
+
+  for (const Id i : affected) rip_up(i);
+  mls_flags_ = mls_flags;
+  for (const Id i : affected) {
+    commit_rec_ = &commits_[i];
+    routes_[i] = route_net(i, flag_of(mls_flags_, i), /*commit=*/true);
+    commit_rec_ = nullptr;
+  }
+  routed_revision_ = nl.revision();
+
+  RouteSummary summary = summarize();
+  for (std::size_t k = 0; k < affected.size(); ++k)
+    if (!net_route_equal(before[k], routes_[affected[k]]))
+      summary.changed_nets.push_back(affected[k]);
+  util::log_debug("router: rerouted ", affected.size(), " nets (", summary.changed_nets.size(),
+                  " changed), WL ", summary.total_wl_m, " m");
+  return summary;
+}
+
+RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty, RerouteMode mode) {
+  return reroute_nets(dirty, mls_flags_, mode);
 }
 
 NetRoute Router::trial_route(Id net, bool mls) const {

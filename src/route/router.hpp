@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,28 @@ struct RouteSummary {
   std::size_t mls_nets = 0;   // nets routed with shared layers
   std::size_t f2f_pairs = 0;  // F2F via count
   RoutingGrid::Census census;
+  // Filled by reroute_nets(): the nets whose NetRoute actually changed value
+  // (a replayed net that lands on an identical route is not listed). Feed
+  // this to TimingGraph::update(). Empty after route_all (everything moved).
+  std::vector<netlist::Id> changed_nets;
+};
+
+// How reroute_nets repairs the routing state after an ECO.
+enum class RerouteMode {
+  // Minimal rip-up: only the dirty (and any brand-new) nets are ripped up
+  // and re-routed against the surviving congestion state. Fast — cost scales
+  // with the dirty set — but the result can differ from a from-scratch
+  // route_all because rerouted nets see congestion out of order. This is the
+  // ECO mode for netlist-changing passes (DFT/scan insertion), where
+  // from-scratch equivalence is undefined anyway.
+  kEco,
+  // Suffix replay: every net whose position in the deterministic route order
+  // could have observed a dirty net's resources is ripped up and replayed in
+  // order, so each replayed net sees exactly the congestion state it would
+  // see in a clean-grid route_all. Bit-exact with route_all by construction
+  // (the incremental-equivalence property test enforces this); requires an
+  // unchanged netlist.
+  kReplay,
 };
 
 class Router {
@@ -79,6 +102,21 @@ class Router {
   // Routes every net. mls_flags is per-net (empty = no MLS anywhere).
   // Resets any previous routing state.
   RouteSummary route_all(const std::vector<std::uint8_t>& mls_flags);
+
+  // Incremental repair after `dirty` nets changed (connectivity, placement
+  // of their pins, or their MLS flag). Nets added to the netlist since the
+  // last route are implicitly dirty. `mls_flags` replaces the stored
+  // decision vector; the overload without it keeps the previous decisions.
+  RouteSummary reroute_nets(std::span<const netlist::Id> dirty,
+                            const std::vector<std::uint8_t>& mls_flags,
+                            RerouteMode mode = RerouteMode::kEco);
+  RouteSummary reroute_nets(std::span<const netlist::Id> dirty,
+                            RerouteMode mode = RerouteMode::kEco);
+
+  // Netlist revision the current routes were built against (0 = never
+  // routed). The RT-005 check compares this with design.nl.revision() to
+  // detect an ECO that was not followed by a re-route.
+  std::uint64_t routed_revision() const { return routed_revision_; }
 
   // What-if route of one net against the CURRENT congestion state, without
   // committing resources. Used by the labeler's per-net MLS trials.
@@ -93,13 +131,32 @@ class Router {
   static std::string describe_layers(const NetRoute& r);
 
  private:
+  // Grid resources one committed net holds: flat track-cell indices plus F2F
+  // pad cells, recorded at commit time so rip_up() can subtract them exactly.
+  struct NetCommit {
+    std::vector<std::uint32_t> tracks;
+    std::vector<std::uint32_t> f2f;
+  };
+
   NetRoute route_net(netlist::Id net, bool mls, bool commit);
+  void rip_up(netlist::Id net);
+  // Deterministic total route order for the given decisions (MLS nets first
+  // by descending HPWL, then native ascending, net id as the tie-break).
+  std::vector<netlist::Id> route_order(const std::vector<std::uint8_t>& mls_flags) const;
+  RouteSummary summarize() const;
+  bool flag_of(const std::vector<std::uint8_t>& flags, netlist::Id net) const {
+    return !flags.empty() && net < flags.size() && flags[net] != 0;
+  }
 
   const netlist::Design& design_;
   const tech::Tech3D& tech_;
   RouterOptions options_;
   RoutingGrid grid_;
   std::vector<NetRoute> routes_;
+  std::vector<NetCommit> commits_;        // parallel to routes_
+  std::vector<std::uint8_t> mls_flags_;   // decisions of the last (re)route
+  std::uint64_t routed_revision_ = 0;
+  NetCommit* commit_rec_ = nullptr;       // route_net() commit recording target
 };
 
 }  // namespace gnnmls::route

@@ -94,108 +94,108 @@ void TimingGraph::build_topology() {
   }
 }
 
-StaResult TimingGraph::run(double clock_ps, double clock_uncertainty_ps) {
-  clock_ps_ = clock_ps;
+namespace {
+constexpr double kNegInf = -1e18;
+}
+
+// Recomputes arrival/out_delay/worst_prev of one pin from its predecessors'
+// current values (a pure gather, no dependence on the pin's own old state).
+void TimingGraph::forward_eval(Id p) {
   const netlist::Netlist& nl = design_.nl;
   const std::vector<route::NetRoute>& routes = *routes_;
-  constexpr double kNegInf = -1e18;
+  const netlist::Pin& pin = nl.pin(p);
+  const netlist::CellInst& cell = nl.cell(pin.cell);
+  const tech::CellType& type = lib_of(tech_, cell).cell(cell.kind);
 
-  std::fill(arrival_.begin(), arrival_.end(), kNegInf);
-  std::fill(worst_prev_.begin(), worst_prev_.end(), kNullId);
-
-  // Forward propagation in topological order.
-  for (const Id p : topo_) {
-    const netlist::Pin& pin = nl.pin(p);
-    const netlist::CellInst& cell = nl.cell(pin.cell);
-    const tech::CellType& type = lib_of(tech_, cell).cell(cell.kind);
-
-    if (pin.dir == PinDir::kOut) {
-      if (tech::is_sequential(cell.kind) || cell.kind == tech::CellKind::kSramMacro) {
-        arrival_[p] = launch_ps(type);
-      } else if (cell.kind == tech::CellKind::kInput) {
-        arrival_[p] = 0.0;
-      } else {
-        // Combinational: max over input pins + load-dependent cell delay.
-        const double load =
-            (pin.net != kNullId) ? routes[pin.net].load_ff : type.output_cap_ff;
-        const double d = cell_delay_ps(type, load + type.output_cap_ff);
-        out_delay_[p] = d;
-        double best = kNegInf;
-        Id best_prev = kNullId;
-        for (int i = 0; i < cell.num_in; ++i) {
-          const Id ip = nl.input_pin(pin.cell, i);
-          if (arrival_[ip] > best) {
-            best = arrival_[ip];
-            best_prev = ip;
-          }
-        }
-        if (best > kNegInf / 2) {
-          arrival_[p] = best + d;
-          worst_prev_[p] = best_prev;
-        } else {
-          arrival_[p] = d;  // no driven inputs (degenerate)
-        }
-      }
-      continue;
-    }
-    // Input pin: net arc from driver.
-    if (pin.net == kNullId) {
+  if (pin.dir == PinDir::kOut) {
+    worst_prev_[p] = kNullId;
+    if (tech::is_sequential(cell.kind) || cell.kind == tech::CellKind::kSramMacro) {
+      arrival_[p] = launch_ps(type);
+    } else if (cell.kind == tech::CellKind::kInput) {
       arrival_[p] = 0.0;
-      continue;
-    }
-    const netlist::Net& net = nl.net(pin.net);
-    const route::NetRoute& r = routes[pin.net];
-    double wire = 0.0;
-    for (std::size_t s = 0; s < net.sinks.size(); ++s) {
-      if (net.sinks[s] == p) {
-        wire = (s < r.sink_elmore_ps.size()) ? r.sink_elmore_ps[s] : 0.0;
-        break;
+    } else {
+      // Combinational: max over input pins + load-dependent cell delay.
+      const double load =
+          (pin.net != kNullId) ? routes[pin.net].load_ff : type.output_cap_ff;
+      const double d = cell_delay_ps(type, load + type.output_cap_ff);
+      out_delay_[p] = d;
+      double best = kNegInf;
+      Id best_prev = kNullId;
+      for (int i = 0; i < cell.num_in; ++i) {
+        const Id ip = nl.input_pin(pin.cell, i);
+        if (arrival_[ip] > best) {
+          best = arrival_[ip];
+          best_prev = ip;
+        }
+      }
+      if (best > kNegInf / 2) {
+        arrival_[p] = best + d;
+        worst_prev_[p] = best_prev;
+      } else {
+        arrival_[p] = d;  // no driven inputs (degenerate)
       }
     }
-    const double drv_at = (net.driver != kNullId) ? arrival_[net.driver] : 0.0;
-    arrival_[p] = (drv_at > kNegInf / 2 ? drv_at : 0.0) + wire;
-    worst_prev_[p] = net.driver;
+    return;
   }
+  // Input pin: net arc from driver.
+  if (pin.net == kNullId) {
+    arrival_[p] = 0.0;
+    worst_prev_[p] = kNullId;
+    return;
+  }
+  const netlist::Net& net = nl.net(pin.net);
+  const route::NetRoute& r = routes[pin.net];
+  double wire = 0.0;
+  for (std::size_t s = 0; s < net.sinks.size(); ++s) {
+    if (net.sinks[s] == p) {
+      wire = (s < r.sink_elmore_ps.size()) ? r.sink_elmore_ps[s] : 0.0;
+      break;
+    }
+  }
+  const double drv_at = (net.driver != kNullId) ? arrival_[net.driver] : 0.0;
+  arrival_[p] = (drv_at > kNegInf / 2 ? drv_at : 0.0) + wire;
+  worst_prev_[p] = net.driver;
+}
 
-  // Required times backward + endpoint slacks.
+// Recomputes required of one pin by gathering from its successors: the
+// endpoint term, the cell arcs into the outputs (input pins), and the net
+// arcs into the sinks (output pins). Gather-min over the same terms run()'s
+// historical scatter produced, so the fixpoint is identical; processing in
+// reverse topological order makes one pass sufficient.
+void TimingGraph::backward_eval(Id p) {
+  const netlist::Netlist& nl = design_.nl;
+  const netlist::Pin& pin = nl.pin(p);
+  const netlist::CellInst& cell = nl.cell(pin.cell);
+  const tech::CellType& type = lib_of(tech_, cell).cell(cell.kind);
+
+  double req = 1e18;
+  if (endpoint_[p]) {
+    req = std::min(req, ((cell.kind == tech::CellKind::kOutput)
+                             ? clock_ps_
+                             : required_ps(clock_ps_, type)) -
+                            uncertainty_ps_);
+  }
+  if (pin.dir == PinDir::kIn) {
+    if (tech::is_combinational(cell.kind)) {
+      for (int o = 0; o < cell.num_out; ++o) {
+        const Id q = nl.output_pin(pin.cell, o);
+        req = std::min(req, required_[q] - out_delay_[q]);
+      }
+    }
+  } else if (pin.net != kNullId) {
+    const double drv_at = (arrival_[p] > kNegInf / 2) ? arrival_[p] : 0.0;
+    for (const Id s : nl.net(pin.net).sinks) {
+      const double wire = arrival_[s] - drv_at;
+      req = std::min(req, required_[s] - wire);
+    }
+  }
+  required_[p] = req;
+}
+
+StaResult TimingGraph::finalize_result() const {
+  const netlist::Netlist& nl = design_.nl;
   StaResult result;
-  std::fill(required_.begin(), required_.end(), 1e18);
-  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
-    const Id p = *it;
-    const netlist::Pin& pin = nl.pin(p);
-    const netlist::CellInst& cell = nl.cell(pin.cell);
-    const tech::CellType& type = lib_of(tech_, cell).cell(cell.kind);
-
-    if (endpoint_[p]) {
-      const double req = ((cell.kind == tech::CellKind::kOutput)
-                              ? clock_ps
-                              : required_ps(clock_ps, type)) -
-                         clock_uncertainty_ps;
-      required_[p] = std::min(required_[p], req);
-    }
-    if (pin.dir == PinDir::kIn) {
-      // Push requirement through the cell (combinational only).
-      if (tech::is_combinational(cell.kind)) {
-        for (int o = 0; o < cell.num_out; ++o) {
-          const Id q = nl.output_pin(pin.cell, o);
-          required_[p] = std::min(required_[p], required_[q] - out_delay_[q]);
-        }
-      }
-      // Push through the net arc to the driver.
-      if (pin.net != kNullId) {
-        const netlist::Net& net = nl.net(pin.net);
-        if (net.driver != kNullId) {
-          const double wire = arrival_[p] - (arrival_[net.driver] > kNegInf / 2
-                                                 ? arrival_[net.driver]
-                                                 : 0.0);
-          required_[net.driver] = std::min(required_[net.driver], required_[p] - wire);
-        }
-      }
-    }
-  }
-
   for (Id p = 0; p < nl.num_pins(); ++p) {
-    slack_[p] = required_[p] - (arrival_[p] > kNegInf / 2 ? arrival_[p] : 0.0);
     if (!endpoint_[p]) continue;
     ++result.endpoints;
     if (slack_[p] < 0.0) {
@@ -204,9 +204,113 @@ StaResult TimingGraph::run(double clock_ps, double clock_uncertainty_ps) {
       result.wns_ps = std::min(result.wns_ps, slack_[p]);
     }
   }
-  result.effective_freq_mhz = 1e6 / (clock_ps - result.wns_ps);
+  result.effective_freq_mhz = 1e6 / (clock_ps_ - result.wns_ps);
+  return result;
+}
+
+StaResult TimingGraph::run(double clock_ps, double clock_uncertainty_ps) {
+  clock_ps_ = clock_ps;
+  uncertainty_ps_ = clock_uncertainty_ps;
+  const netlist::Netlist& nl = design_.nl;
+
+  std::fill(arrival_.begin(), arrival_.end(), kNegInf);
+  std::fill(worst_prev_.begin(), worst_prev_.end(), kNullId);
+
+  // Forward propagation in topological order.
+  for (const Id p : topo_) forward_eval(p);
+
+  // Required times backward (reverse topological order).
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) backward_eval(*it);
+
+  for (Id p = 0; p < nl.num_pins(); ++p)
+    slack_[p] = required_[p] - (arrival_[p] > kNegInf / 2 ? arrival_[p] : 0.0);
+
+  const StaResult result = finalize_result();
   util::log_debug("sta: WNS ", result.wns_ps, " ps, TNS ", result.tns_ns, " ns, #vio ",
                   result.violating_endpoints, "/", result.endpoints);
+  return result;
+}
+
+StaResult TimingGraph::update(std::span<const netlist::Id> dirty_nets) {
+  const netlist::Netlist& nl = design_.nl;
+  if (clock_ps_ <= 0.0)
+    throw std::logic_error("TimingGraph::update called before run()");
+  if (nl.num_pins() != arrival_.size() || routes_->size() != nl.num_nets())
+    throw std::logic_error(
+        "timing graph topology is stale (netlist changed); rebuild the graph");
+
+  const std::size_t np = nl.num_pins();
+  std::vector<std::uint8_t> fwd(np, 0), changed(np, 0), bwd(np, 0);
+
+  // Seeds: a dirty net changes its driver's load (cell arc) and its sinks'
+  // wire delays (net arcs).
+  for (const Id net : dirty_nets) {
+    if (net >= nl.num_nets()) continue;
+    const netlist::Net& nt = nl.net(net);
+    if (nt.driver != kNullId) {
+      fwd[nt.driver] = 1;
+      bwd[nt.driver] = 1;
+    }
+    for (const Id s : nt.sinks) fwd[s] = 1;
+  }
+
+  // Forward cone: re-evaluate flagged pins in topological order, flagging
+  // successors whenever an arrival actually moved.
+  for (const Id p : topo_) {
+    if (!fwd[p]) continue;
+    const double old_arrival = arrival_[p];
+    const double old_delay = out_delay_[p];
+    forward_eval(p);
+    const bool arrival_moved = arrival_[p] != old_arrival;
+    if (arrival_moved || out_delay_[p] != old_delay) changed[p] = 1;
+    if (!arrival_moved) continue;
+    const netlist::Pin& pin = nl.pin(p);
+    if (pin.dir == PinDir::kIn) {
+      if (tech::is_combinational(nl.cell(pin.cell).kind))
+        for (int o = 0; o < nl.cell(pin.cell).num_out; ++o)
+          fwd[nl.output_pin(pin.cell, o)] = 1;
+    } else if (pin.net != kNullId) {
+      for (const Id s : nl.net(pin.net).sinks) fwd[s] = 1;
+    }
+  }
+
+  // Backward cone seeds: every pin whose arrival or cell-arc delay moved
+  // invalidates the required times that were gathered from it.
+  for (Id p = 0; p < np; ++p) {
+    if (!changed[p]) continue;
+    bwd[p] = 1;  // an output pin's own gather uses its arrival
+    const netlist::Pin& pin = nl.pin(p);
+    if (pin.dir == PinDir::kIn) {
+      if (pin.net != kNullId && nl.net(pin.net).driver != kNullId)
+        bwd[nl.net(pin.net).driver] = 1;
+    } else if (tech::is_combinational(nl.cell(pin.cell).kind)) {
+      for (int i = 0; i < nl.cell(pin.cell).num_in; ++i)
+        bwd[nl.input_pin(pin.cell, i)] = 1;
+    }
+  }
+
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const Id p = *it;
+    if (!bwd[p]) continue;
+    const double old_req = required_[p];
+    backward_eval(p);
+    if (required_[p] == old_req) continue;
+    const netlist::Pin& pin = nl.pin(p);
+    if (pin.dir == PinDir::kIn) {
+      if (pin.net != kNullId && nl.net(pin.net).driver != kNullId)
+        bwd[nl.net(pin.net).driver] = 1;
+    } else if (tech::is_combinational(nl.cell(pin.cell).kind)) {
+      for (int i = 0; i < nl.cell(pin.cell).num_in; ++i)
+        bwd[nl.input_pin(pin.cell, i)] = 1;
+    }
+  }
+
+  for (Id p = 0; p < np; ++p)
+    slack_[p] = required_[p] - (arrival_[p] > kNegInf / 2 ? arrival_[p] : 0.0);
+
+  const StaResult result = finalize_result();
+  util::log_debug("sta(update): ", dirty_nets.size(), " dirty nets, WNS ", result.wns_ps,
+                  " ps, TNS ", result.tns_ns, " ns");
   return result;
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "netlist/generators.hpp"
@@ -45,6 +46,17 @@ class TimingGraph {
   // endpoint's required time (jitter + skew margin).
   StaResult run(double clock_ps, double clock_uncertainty_ps = 0.0);
 
+  // Incremental re-propagation after the listed nets' electrical results
+  // changed (reroute_nets reports them in RouteSummary::changed_nets).
+  // Re-evaluates only the forward cone of the dirty arcs and the backward
+  // cone of whatever moved, then re-aggregates; every per-pin value is
+  // recomputed with the same arithmetic run() uses, so the result is
+  // bit-identical to a full run() at the last clock/uncertainty. Requires a
+  // prior run() and an unchanged netlist topology — if the netlist gained
+  // cells or nets since construction, rebuild the graph instead (throws
+  // std::logic_error).
+  StaResult update(std::span<const netlist::Id> dirty_nets);
+
   // --- per-object queries (valid after run()) -----------------------------
   double arrival_ps(netlist::Id pin) const { return arrival_[pin]; }
   double slack_ps(netlist::Id pin) const { return slack_[pin]; }
@@ -67,11 +79,17 @@ class TimingGraph {
 
  private:
   void build_topology();
+  // Per-pin gather recomputation, shared verbatim between run() and
+  // update() so the incremental path cannot drift from the full one.
+  void forward_eval(netlist::Id p);
+  void backward_eval(netlist::Id p);
+  StaResult finalize_result() const;
 
   const netlist::Design& design_;
   const tech::Tech3D& tech_;
   const std::vector<route::NetRoute>* routes_;
   double clock_ps_ = 0.0;
+  double uncertainty_ps_ = 0.0;
 
   // Per-pin state.
   std::vector<double> arrival_;

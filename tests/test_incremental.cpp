@@ -1,0 +1,228 @@
+// Property tests for the incremental ECO machinery: Router::reroute_nets in
+// replay mode must be indistinguishable from a from-scratch route_all, and
+// TimingGraph::update must reproduce a full run() to within 1e-9 on WNS, TNS,
+// and every per-pin slack. Randomized dirty-net sets drive both.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mls/flow.hpp"
+#include "netlist/buffering.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "sta/graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gnnmls;
+using netlist::Id;
+using route::RerouteMode;
+using route::RouteSummary;
+using route::Router;
+
+netlist::Design placed_16pe(tech::Tech3D& tech3d) {
+  netlist::Design d = netlist::make_maeri_16pe();
+  tech3d = tech::make_hetero_tech(d.info.beol_layers);
+  netlist::insert_buffer_trees(d.nl);
+  place::place(d, tech3d);
+  return d;
+}
+
+void expect_route_equal(const route::NetRoute& a, const route::NetRoute& b, Id net) {
+  EXPECT_EQ(a.wl_um, b.wl_um) << "net " << net;
+  EXPECT_EQ(a.res_ohm, b.res_ohm) << "net " << net;
+  EXPECT_EQ(a.cap_ff, b.cap_ff) << "net " << net;
+  EXPECT_EQ(a.load_ff, b.load_ff) << "net " << net;
+  EXPECT_EQ(a.detour, b.detour) << "net " << net;
+  EXPECT_EQ(a.layers_used[0], b.layers_used[0]) << "net " << net;
+  EXPECT_EQ(a.layers_used[1], b.layers_used[1]) << "net " << net;
+  EXPECT_EQ(a.f2f_vias, b.f2f_vias) << "net " << net;
+  EXPECT_EQ(a.mls_applied, b.mls_applied) << "net " << net;
+  EXPECT_EQ(a.worst_overflow, b.worst_overflow) << "net " << net;
+  EXPECT_EQ(a.sink_elmore_ps, b.sink_elmore_ps) << "net " << net;
+}
+
+// Flips `count` random nets' MLS flags and returns the flipped ids.
+std::vector<Id> flip_random(util::Rng& rng, std::vector<std::uint8_t>& flags,
+                            std::size_t count) {
+  std::vector<Id> dirty;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Id n = static_cast<Id>(rng.below(flags.size()));
+    flags[n] ^= 1;
+    dirty.push_back(n);  // duplicates allowed: reroute_nets must tolerate them
+  }
+  return dirty;
+}
+
+TEST(RerouteReplay, BitExactWithFromScratchRouteAll) {
+  tech::Tech3D tech3d;
+  const netlist::Design d = placed_16pe(tech3d);
+  const route::RouterOptions opt;
+  Router live(d, tech3d, opt);
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  live.route_all(flags);
+
+  util::Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint8_t> new_flags = flags;
+    const std::vector<Id> dirty = flip_random(rng, new_flags, 1 + 7 * trial);
+    const RouteSummary inc = live.reroute_nets(dirty, new_flags, RerouteMode::kReplay);
+
+    Router fresh(d, tech3d, opt);
+    const RouteSummary full = fresh.route_all(new_flags);
+
+    EXPECT_DOUBLE_EQ(inc.total_wl_m, full.total_wl_m) << "trial " << trial;
+    EXPECT_EQ(inc.mls_nets, full.mls_nets) << "trial " << trial;
+    EXPECT_EQ(inc.f2f_pairs, full.f2f_pairs) << "trial " << trial;
+    EXPECT_EQ(inc.census.overflow_gcells, full.census.overflow_gcells) << "trial " << trial;
+    ASSERT_EQ(live.routes().size(), fresh.routes().size());
+    for (Id n = 0; n < d.nl.num_nets(); ++n)
+      expect_route_equal(live.net_route(n), fresh.net_route(n), n);
+    EXPECT_EQ(live.routed_revision(), d.nl.revision());
+    flags = new_flags;
+  }
+}
+
+TEST(RerouteReplay, EmptyDirtySetIsANoOp) {
+  tech::Tech3D tech3d;
+  const netlist::Design d = placed_16pe(tech3d);
+  Router live(d, tech3d);
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  const RouteSummary base = live.route_all(flags);
+  const RouteSummary re = live.reroute_nets(std::vector<Id>{}, flags, RerouteMode::kReplay);
+  EXPECT_DOUBLE_EQ(re.total_wl_m, base.total_wl_m);
+  EXPECT_TRUE(re.changed_nets.empty());
+}
+
+TEST(StaIncremental, MatchesFullRunOnRandomDirtySets) {
+  tech::Tech3D tech3d;
+  const netlist::Design d = placed_16pe(tech3d);
+  const route::RouterOptions opt;
+  Router live(d, tech3d, opt);
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  live.route_all(flags);
+  sta::TimingGraph g(d, tech3d, live.routes());
+  g.run(d.info.clock_ps, 40.0);
+
+  util::Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint8_t> new_flags = flags;
+    const std::vector<Id> dirty = flip_random(rng, new_flags, 2 + 9 * trial);
+    const RouteSummary inc = live.reroute_nets(dirty, new_flags, RerouteMode::kReplay);
+    const sta::StaResult r_inc = g.update(inc.changed_nets);
+
+    Router fresh(d, tech3d, opt);
+    fresh.route_all(new_flags);
+    sta::TimingGraph g2(d, tech3d, fresh.routes());
+    const sta::StaResult r_full = g2.run(d.info.clock_ps, 40.0);
+
+    EXPECT_NEAR(r_inc.wns_ps, r_full.wns_ps, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(r_inc.tns_ns, r_full.tns_ns, 1e-9) << "trial " << trial;
+    EXPECT_EQ(r_inc.violating_endpoints, r_full.violating_endpoints) << "trial " << trial;
+    EXPECT_EQ(r_inc.endpoints, r_full.endpoints);
+    for (Id p = 0; p < d.nl.num_pins(); ++p) {
+      ASSERT_NEAR(g.arrival_ps(p), g2.arrival_ps(p), 1e-9) << "pin " << p;
+      ASSERT_NEAR(g.slack_ps(p), g2.slack_ps(p), 1e-9) << "pin " << p;
+    }
+    flags = new_flags;
+  }
+}
+
+TEST(StaIncremental, UpdateThenFullRunIsAFixedPoint) {
+  tech::Tech3D tech3d;
+  const netlist::Design d = placed_16pe(tech3d);
+  Router live(d, tech3d);
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  live.route_all(flags);
+  sta::TimingGraph g(d, tech3d, live.routes());
+  g.run(d.info.clock_ps, 40.0);
+
+  util::Rng rng(13);
+  std::vector<std::uint8_t> new_flags = flags;
+  const std::vector<Id> dirty = flip_random(rng, new_flags, 16);
+  const RouteSummary inc = live.reroute_nets(dirty, new_flags, RerouteMode::kReplay);
+  const sta::StaResult r_inc = g.update(inc.changed_nets);
+  const sta::StaResult r_again = g.run(d.info.clock_ps, 40.0);
+  EXPECT_DOUBLE_EQ(r_inc.wns_ps, r_again.wns_ps);
+  EXPECT_DOUBLE_EQ(r_inc.tns_ns, r_again.tns_ns);
+  EXPECT_EQ(r_inc.violating_endpoints, r_again.violating_endpoints);
+}
+
+TEST(StaIncremental, ThrowsBeforeRunAndOnStaleTopology) {
+  tech::Tech3D tech3d;
+  netlist::Design d = placed_16pe(tech3d);
+  Router live(d, tech3d);
+  live.route_all({});
+  sta::TimingGraph g(d, tech3d, live.routes());
+  const std::vector<Id> dirty{0};
+  EXPECT_THROW(g.update(dirty), std::logic_error);  // update before run
+
+  g.run(d.info.clock_ps, 40.0);
+  d.nl.add_cell(tech::CellKind::kBuf, 0, 50.0f, 50.0f);  // pin space grew
+  EXPECT_THROW(g.update(dirty), std::logic_error);
+}
+
+TEST(RerouteEco, RoutesNetsAddedAfterTheLastRoute) {
+  tech::Tech3D tech3d;
+  netlist::Design d = placed_16pe(tech3d);
+  Router live(d, tech3d);
+  live.route_all({});
+  const std::size_t old_nets = d.nl.num_nets();
+
+  // Splice a buffer pair behind an existing driver: one touched old net, one
+  // brand-new net that the router has never seen.
+  netlist::Netlist& nl = d.nl;
+  const std::size_t mark = nl.journal_size();
+  Id tapped = netlist::kNullId;
+  for (Id n = 0; n < nl.num_nets(); ++n)
+    if (nl.net(n).driver != netlist::kNullId) { tapped = n; break; }
+  ASSERT_NE(tapped, netlist::kNullId);
+  const Id b1 = nl.add_cell(tech::CellKind::kBuf, 0, 80.0f, 90.0f);
+  const Id b2 = nl.add_cell(tech::CellKind::kBuf, 0, 200.0f, 150.0f);
+  nl.add_sink(tapped, nl.input_pin(b1, 0));
+  const Id fresh_net = nl.connect(b1, 0, b2, 0);
+  ASSERT_EQ(nl.num_nets(), old_nets + 1);
+
+  // Only the explicitly journaled old net goes in the dirty list; the new
+  // net must be picked up implicitly.
+  std::vector<Id> dirty;
+  for (const Id n : nl.journal().subspan(mark))
+    if (n < old_nets) dirty.push_back(n);
+  const RouteSummary rs = live.reroute_nets(dirty, RerouteMode::kEco);
+
+  ASSERT_EQ(live.routes().size(), nl.num_nets());
+  EXPECT_EQ(live.routed_revision(), nl.revision());
+  const route::NetRoute& r = live.net_route(fresh_net);
+  EXPECT_GT(r.wl_um, 0.0f);
+  ASSERT_EQ(r.sink_elmore_ps.size(), 1u);
+  EXPECT_GT(r.sink_elmore_ps[0], 0.0f);
+  // Both the tapped net and the new one report as changed.
+  EXPECT_NE(std::find(rs.changed_nets.begin(), rs.changed_nets.end(), fresh_net),
+            rs.changed_nets.end());
+  EXPECT_NE(std::find(rs.changed_nets.begin(), rs.changed_nets.end(), tapped),
+            rs.changed_nets.end());
+}
+
+TEST(DftEco, SingleRoutePlusEcoPassesStrictChecks) {
+  mls::FlowConfig cfg;
+  cfg.heterogeneous = true;
+  cfg.run_pdn = false;
+  cfg.strict_checks = true;  // the checker audits the post-ECO state
+  mls::DesignFlow flow(netlist::make_maeri_16pe(), cfg);
+
+  const mls::DesignFlow::DftMetrics m =
+      flow.evaluate_with_dft({}, mls::Strategy::kNone, dft::MlsDftStyle::kWireBased);
+  EXPECT_GT(m.scan_flops, 0u);
+  EXPECT_GT(m.total_faults, 0u);
+  EXPECT_GT(m.coverage, 0.0);
+  // The ECO left routes parallel to (and stamped at) the final netlist.
+  EXPECT_EQ(flow.router().routes().size(), flow.design().nl.num_nets());
+  EXPECT_EQ(flow.router().routed_revision(), flow.design().nl.revision());
+  EXPECT_TRUE(flow.db().fresh(core::Stage::kRoutes));
+  EXPECT_TRUE(flow.db().fresh(core::Stage::kTest));
+}
+
+}  // namespace

@@ -169,6 +169,28 @@ int main(int argc, char** argv) {
                  e.what());
   }
 
+  // Stage-artifact ledger: which artifacts exist, at which revision, and
+  // whether their upstream moved from under them. "stale" here is the same
+  // predicate RT-005 and the incremental-ECO path key off.
+  std::printf("\nstage artifacts (netlist at revision %llu):\n",
+              static_cast<unsigned long long>(flow.db().revision(core::Stage::kNetlist)));
+  std::printf("  %-10s %-10s %-12s %s\n", "stage", "revision", "built-from", "state");
+  for (std::size_t i = 0; i < core::kNumStages; ++i) {
+    const core::Stage s = static_cast<core::Stage>(i);
+    const core::StageTag& t = flow.db().tag(s);
+    if (s == core::Stage::kNetlist) {
+      std::printf("  %-10s %-10llu %-12s %s\n", core::to_string(s),
+                  static_cast<unsigned long long>(flow.db().revision(s)), "-", "root");
+      continue;
+    }
+    std::printf("  %-10s %-10llu %-12llu %s\n", core::to_string(s),
+                static_cast<unsigned long long>(t.revision),
+                static_cast<unsigned long long>(t.built_from),
+                !flow.db().built(s) ? "not built"
+                                    : (flow.db().fresh(s) ? "fresh" : "STALE"));
+  }
+  std::printf("\n");
+
   const check::Report report = flow.run_checks();
   std::fputs(report.render().c_str(), stdout);
   if (!report.clean()) {
