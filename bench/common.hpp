@@ -10,6 +10,7 @@
 #include <string>
 
 #include "mls/flow.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -35,6 +36,8 @@ inline std::string fmt1(double v) { return util::fmt_fixed(v, 1); }
 inline std::string fmt2(double v) { return util::fmt_fixed(v, 2); }
 
 inline void print_header(const char* id, const char* title) {
+  // GNNMLS_TRACE=out.json turns any bench run into a Chrome trace.
+  obs::init_from_env();
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("================================================================\n");

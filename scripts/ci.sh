@@ -22,14 +22,34 @@ echo "==> lint gate: gnnmls_lint on the quickstart design (maeri16)"
 ./build/tools/gnnmls_lint --design maeri16 --strategy sota
 ./build/tools/gnnmls_lint --design maeri16 --strategy sota --with-dft
 
-echo "==> perf smoke: incremental-ECO microbenchmarks on MAERI-16PE"
+echo "==> perf smoke: incremental-ECO + per-stage microbenchmarks on MAERI-16PE"
 # Exercises the full-route baseline against the incremental paths
-# (Router::reroute_nets / TimingGraph::update) and records the numbers; the
-# gate is that the cases run to completion, the JSON is for trend tracking.
+# (Router::reroute_nets / TimingGraph::update) plus the per-stage flow
+# ledgers (BM_Flow*Stages/BM_DecideStage export route_s/sta_s/... counters),
+# so BENCH_incremental.json carries stage times run over run; the gate is
+# that the cases run to completion, the JSON is for trend tracking.
 ./build/bench/bench_micro \
-  --benchmark_filter='BM_RouteAll|BM_RerouteEco|BM_StaFullRun|BM_StaIncremental' \
+  --benchmark_filter='BM_RouteAll|BM_RerouteEco|BM_StaFullRun|BM_StaIncremental|BM_FlowStages|BM_FlowDftStages|BM_DecideStage' \
   --benchmark_out=BENCH_incremental.json --benchmark_out_format=json \
   --benchmark_min_time=0.05
+
+echo "==> trace gate: traced lint run emits a loadable Chrome trace"
+GNNMLS_TRACE=trace_flow.json ./build/tools/gnnmls_lint --design maeri16 --profile
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+d = json.load(open("trace_flow.json"))
+ev = d["traceEvents"]
+assert ev, "trace_flow.json has no traceEvents"
+names = {e["name"] for e in ev}
+for want in ("flow.evaluate", "flow.route", "sta.run"):
+    assert want in names, f"missing span {want!r} in trace"
+print(f"trace gate OK: {len(ev)} events")
+EOF
+else
+  grep -q '"name":"flow.evaluate"' trace_flow.json
+  echo "trace gate OK (grep fallback)"
+fi
 
 if [[ "${FAST}" == "0" ]]; then
   echo "==> sanitizers: ASan+UBSan build + full test suite (build-asan/)"

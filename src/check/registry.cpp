@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "check/checks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gnnmls::check {
+
+namespace {
+// Registry-level diagnostic tallies: how many errors/warnings each full run
+// contributed, severity-split so dashboards can alert on errors alone.
+void count_diagnostics(const Report& report) {
+  if (report.errors())
+    obs::Metrics::instance().counter("check.diag_errors").add(report.errors());
+  if (report.warnings())
+    obs::Metrics::instance().counter("check.diag_warnings").add(report.warnings());
+}
+}  // namespace
 
 void CheckRegistry::add(std::string name, PassFn fn) {
   passes_.push_back(Pass{std::move(name), std::move(fn)});
@@ -18,8 +31,14 @@ std::vector<std::string> CheckRegistry::pass_names() const {
 }
 
 Report CheckRegistry::run(const Snapshot& snapshot) const {
+  GNNMLS_SPAN("check.run");
   Report report;
-  for (const Pass& p : passes_) p.fn(snapshot, report);
+  for (const Pass& p : passes_) {
+    // The tracer copies the name while the temporary is alive.
+    obs::Span span(("check." + p.name).c_str());
+    p.fn(snapshot, report);
+  }
+  count_diagnostics(report);
   return report;
 }
 

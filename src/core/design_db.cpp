@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace gnnmls::core {
 
 const char* to_string(Stage s) {
@@ -104,6 +106,7 @@ void DesignDB::touch_journal_since(std::size_t mark) {
 std::vector<netlist::Id> DesignDB::take_dirty_nets() {
   std::vector<netlist::Id> out;
   out.swap(dirty_);
+  obs::Metrics::instance().gauge("db.dirty_nets").set(static_cast<double>(out.size()));
   return out;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gnnmls::dft {
 
 namespace {
@@ -263,6 +266,7 @@ bool FaultSimulator::simulate_fault(Id fault_pin, bool stuck1) {
 }
 
 FaultSimResult FaultSimulator::run() {
+  GNNMLS_SPAN("dft.fault_sim");
   simulate_good();
   FaultSimResult result;
 
@@ -299,6 +303,8 @@ FaultSimResult FaultSimulator::run() {
       }
     }
   }
+  obs::Metrics::instance().counter("dft.faults_simulated").add(result.total_faults);
+  obs::Metrics::instance().counter("dft.faults_detected").add(result.detected);
   return result;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gnnmls::ml {
 
 DgiTrainer::DgiTrainer(GraphTransformer& encoder, util::Rng& rng)
@@ -144,13 +147,20 @@ double DgiTrainer::train_epoch(std::span<const PathGraph> graphs, Adam& optimize
 
 std::vector<double> DgiTrainer::pretrain(std::span<const PathGraph> graphs,
                                          const DgiConfig& config, util::Rng& rng) {
+  GNNMLS_SPAN("ml.dgi.pretrain");
   std::vector<Param*> ps = encoder_.params();
   ps.push_back(&w_);
   Adam opt(ps, config.lr);
   std::vector<double> trajectory;
   trajectory.reserve(static_cast<std::size_t>(config.epochs));
-  for (int e = 0; e < config.epochs; ++e)
+  obs::Counter& epochs = obs::Metrics::instance().counter("ml.dgi.epochs");
+  obs::Gauge& loss = obs::Metrics::instance().gauge("ml.dgi.loss");
+  for (int e = 0; e < config.epochs; ++e) {
+    GNNMLS_SPAN("ml.dgi.epoch");
     trajectory.push_back(train_epoch(graphs, opt, rng));
+    epochs.add(1);
+    loss.set(trajectory.back());
+  }
   return trajectory;
 }
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gnnmls::ml {
 
 MlpHead::MlpHead(int dim, int hidden, util::Rng& rng)
@@ -76,8 +79,14 @@ std::vector<double> fine_tune(GraphTransformer& encoder, MlpHead& head,
 
   std::vector<double> trajectory;
   trajectory.reserve(static_cast<std::size_t>(config.epochs));
+  GNNMLS_SPAN("ml.fine_tune");
+  obs::Counter& epochs_c = obs::Metrics::instance().counter("ml.fine_tune.epochs");
+  obs::Gauge& loss_g = obs::Metrics::instance().gauge("ml.fine_tune.loss");
+  obs::Gauge& gnorm_g = obs::Metrics::instance().gauge("ml.fine_tune.grad_norm");
   for (int e = 0; e < config.epochs; ++e) {
+    GNNMLS_SPAN("ml.fine_tune.epoch");
     double epoch_loss = 0.0;
+    double grad_sq = 0.0;
     for (std::size_t i = 0; i < labeled.size(); ++i) {
       const PathGraph& g = *labeled[i];
       head.zero_grad();
@@ -91,11 +100,17 @@ std::vector<double> fine_tune(GraphTransformer& encoder, MlpHead& head,
       } else {
         loss = head.loss_and_grad(cached[i], g.labels, config.positive_weight, dh);
       }
+      for (const Param* p : ps)
+        for (int r = 0; r < p->grad.rows(); ++r)
+          for (int c = 0; c < p->grad.cols(); ++c) grad_sq += p->grad.at(r, c) * p->grad.at(r, c);
       opt.step();
       epoch_loss += loss;
     }
     trajectory.push_back(labeled.empty() ? 0.0
                                          : epoch_loss / static_cast<double>(labeled.size()));
+    epochs_c.add(1);
+    loss_g.set(trajectory.back());
+    gnorm_g.set(labeled.empty() ? 0.0 : std::sqrt(grad_sq / static_cast<double>(labeled.size())));
   }
   return trajectory;
 }

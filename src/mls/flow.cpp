@@ -1,8 +1,9 @@
 #include "mls/flow.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::mls {
@@ -69,31 +70,51 @@ check::Report DesignFlow::run_checks() const {
 }
 
 FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy) {
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span root("flow.evaluate");
+  StagePrefix prefix;
   db_.set_mls_flags(flags);
-  const route::RouteSummary rs = db_.router(config_.router).route_all(flags);
-  db_.commit(core::Stage::kRoutes);
-  return finish_evaluate(t0, strategy, rs);
+  route::RouteSummary rs;
+  {
+    obs::Span span("flow.route");
+    rs = db_.router(config_.router).route_all(flags);
+    db_.commit(core::Stage::kRoutes);
+    prefix.route_s = span.seconds();
+  }
+  return finish_evaluate(root, prefix, strategy, rs);
 }
 
-FlowMetrics DesignFlow::finish_evaluate(std::chrono::steady_clock::time_point t0,
+FlowMetrics DesignFlow::finish_evaluate(const obs::Span& root, const StagePrefix& prefix,
                                         Strategy strategy, const route::RouteSummary& rs) {
   const netlist::Design& design = db_.design();
   route::Router& router = db_.router(config_.router);
-  // timing() rebuilds the graph when the netlist revision moved since the
-  // last build — the full-rebuild fallback of the incremental ECO story.
-  sta::TimingGraph& sta_graph = db_.timing();
-  const sta::StaResult sr = sta_graph.run(design.info.clock_ps, config_.clock_uncertainty_ps);
-  db_.commit(core::Stage::kTiming);
-  const pdn::PowerReport pr = pdn::estimate_power(design, tech_, router.routes(), config_.power);
-  db_.set_power(pr);
-  db_.commit(core::Stage::kPower);
+  FlowMetrics m;
+  m.route_s = prefix.route_s;
+  m.dft_s = prefix.dft_s;
+  sta::StaResult sr;
+  {
+    obs::Span span("flow.sta");
+    // timing() rebuilds the graph when the netlist revision moved since the
+    // last build — the full-rebuild fallback of the incremental ECO story.
+    sta::TimingGraph& sta_graph = db_.timing();
+    sr = sta_graph.run(design.info.clock_ps, config_.clock_uncertainty_ps);
+    db_.commit(core::Stage::kTiming);
+    m.sta_s = span.seconds();
+  }
+  pdn::PowerReport pr;
+  {
+    obs::Span span("flow.power");
+    pr = pdn::estimate_power(design, tech_, router.routes(), config_.power);
+    db_.set_power(pr);
+    db_.commit(core::Stage::kPower);
+    m.power_s = span.seconds();
+  }
   if (config_.run_pdn) {
+    obs::Span span("flow.pdn");
     db_.set_pdn(pdn::synthesize_pdn(design, tech_, router.routes(), config_.pdn));
     db_.commit(core::Stage::kPdn);
+    m.pdn_s = span.seconds();
   }
 
-  FlowMetrics m;
   m.design = design.info.name;
   m.strategy = to_string(strategy);
   m.wl_m = rs.total_wl_m;
@@ -113,11 +134,12 @@ FlowMetrics DesignFlow::finish_evaluate(std::chrono::steady_clock::time_point t0
     m.pdn_pitch_um = p->strap_pitch_um[1];
     m.pdn_util = p->utilization[1];
   }
-  m.runtime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   util::log_info("flow[", m.design, "/", m.strategy, "]: WNS ", m.wns_ps, " ps, TNS ",
                  m.tns_ns, " ns, vio ", m.violating, ", MLS nets ", m.mls_nets);
   if (config_.strict_checks) {
+    obs::Span span("flow.checks");
     const check::Report report = run_checks();
+    m.check_s = span.seconds();
     if (!report.clean()) {
       util::log_error("flow[", m.design, "/", m.strategy, "]: strict checks failed\n",
                       report.render());
@@ -128,6 +150,9 @@ FlowMetrics DesignFlow::finish_evaluate(std::chrono::steady_clock::time_point t0
     util::log_debug("flow[", m.design, "/", m.strategy, "]: checks clean (",
                     report.warnings(), " warning(s))");
   }
+  // One clock, one tree: the whole-evaluate wall time is the caller's root
+  // span, of which every stage above is a child.
+  m.runtime_s = root.seconds();
   return m;
 }
 
@@ -137,12 +162,17 @@ FlowMetrics DesignFlow::evaluate_gnn(GnnMlsEngine& engine, const CorpusOptions& 
   evaluate_no_mls();
   // The decision stage is part of the strategy's cost: time it and fold it
   // into the reported row, so the "Ours" runtime column is honest.
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<std::uint8_t> flags =
-      engine.decide(db_.design(), tech_, db_.router(config_.router), db_.timing(), corpus_opts);
-  const double decide_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::vector<std::uint8_t> flags;
+  double decide_s = 0.0;
+  {
+    obs::Span span("flow.decide");
+    flags = engine.decide(db_.design(), tech_, db_.router(config_.router), db_.timing(),
+                          corpus_opts);
+    span.end();
+    decide_s = span.seconds();
+  }
   FlowMetrics m = evaluate(flags, Strategy::kGnn);
+  m.decide_s = decide_s;
   m.runtime_s += decide_s;
   return m;
 }
@@ -159,49 +189,69 @@ DesignFlow::DftMetrics DesignFlow::evaluate_with_dft(const std::vector<std::uint
                                                      Strategy strategy,
                                                      dft::MlsDftStyle style) {
   DftMetrics out;
-  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span root("flow.evaluate_with_dft");
+  StagePrefix prefix;
   // Route ONCE with the MLS decisions so the DFT pass can see which nets
   // actually used shared layers (insertion is post-routing, Figure 4). The
   // insertion then dirties only the nets it cuts; there is no second full
   // route_all.
   db_.set_mls_flags(flags);
   route::Router& router = db_.router(config_.router);
-  router.route_all(flags);
-  db_.commit(core::Stage::kRoutes);
+  {
+    obs::Span span("flow.route");
+    router.route_all(flags);
+    db_.commit(core::Stage::kRoutes);
+    prefix.route_s = span.seconds();
+  }
 
   // DFT insertion mutates the netlist; the mutation-journal delta is the
   // dirty-net set for the ECO.
   netlist::Netlist& nl = db_.design().nl;
-  const std::size_t mark = db_.journal_mark();
-  const dft::ScanReport scan = dft::insert_full_scan(nl);
-  out.scan_flops = scan.flops_replaced;
-  dft::MlsDftReport dft_report = dft::insert_mls_dft(nl, router.routes(), style);
-  out.dft_cells = dft_report.cells_added;
-  // Post-routing ECO (paper Section III-D: "Post-routing ECO adjustments
-  // ensure that the timing impact of these solutions remains minimal"):
-  // re-buffer the nets the DFT cells now drive.
-  netlist::insert_repeaters_only(nl, config_.buffering.max_unbuffered_um);
-  // From here on the checker audits the DFT pass too (finish_evaluate runs
-  // it in strict mode, and run_checks() picks it up for callers).
-  db_.set_test_model(dft_report.test_model);
-  db_.commit(core::Stage::kTest);
-  // The insertion passes place their own cells; declare placement updated
-  // rather than re-running the placer over the whole design.
-  db_.commit(core::Stage::kPlacement);
-  db_.touch_journal_since(mark);
+  dft::MlsDftReport dft_report;
+  {
+    obs::Span span("flow.dft.insert");
+    const std::size_t mark = db_.journal_mark();
+    const dft::ScanReport scan = dft::insert_full_scan(nl);
+    out.scan_flops = scan.flops_replaced;
+    dft_report = dft::insert_mls_dft(nl, router.routes(), style);
+    out.dft_cells = dft_report.cells_added;
+    // Post-routing ECO (paper Section III-D: "Post-routing ECO adjustments
+    // ensure that the timing impact of these solutions remains minimal"):
+    // re-buffer the nets the DFT cells now drive.
+    netlist::insert_repeaters_only(nl, config_.buffering.max_unbuffered_um);
+    // From here on the checker audits the DFT pass too (finish_evaluate runs
+    // it in strict mode, and run_checks() picks it up for callers).
+    db_.set_test_model(dft_report.test_model);
+    db_.commit(core::Stage::kTest);
+    // The insertion passes place their own cells; declare placement updated
+    // rather than re-running the placer over the whole design.
+    db_.commit(core::Stage::kPlacement);
+    db_.touch_journal_since(mark);
+    prefix.dft_s = span.seconds();
+  }
 
   // Incremental ECO: rip up and re-route only the touched nets (nets added
   // since the last route are implicitly dirty); the surviving grid state is
   // kept. The netlist revision moved, so finish_evaluate's timing() takes
   // the full-rebuild fallback for the graph.
-  const std::vector<netlist::Id> dirty = db_.take_dirty_nets();
-  const route::RouteSummary rs = router.reroute_nets(dirty, flags, route::RerouteMode::kEco);
-  db_.commit(core::Stage::kRoutes);
-  out.flow = finish_evaluate(t0, strategy, rs);
+  route::RouteSummary rs;
+  {
+    obs::Span span("flow.route.eco");
+    const std::vector<netlist::Id> dirty = db_.take_dirty_nets();
+    rs = router.reroute_nets(dirty, flags, route::RerouteMode::kEco);
+    db_.commit(core::Stage::kRoutes);
+    prefix.route_s += span.seconds();
+  }
+  out.flow = finish_evaluate(root, prefix, strategy, rs);
+  root.end();
 
+  // Pre-bond fault simulation is reported separately from runtime_s (the
+  // paper's runtime columns stop at the ECO'd flow), but still traced.
+  obs::Span sim_span("flow.dft.faultsim");
   dft::FaultSimOptions fopt;
   dft::FaultSimulator sim(nl, dft_report.test_model, fopt);
   const dft::FaultSimResult fr = sim.run();
+  sim_span.end();
   out.total_faults = fr.total_faults;
   out.detected_faults = fr.detected;
   out.coverage = fr.coverage();

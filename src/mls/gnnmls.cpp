@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::mls {
@@ -76,12 +78,15 @@ std::vector<std::uint8_t> GnnMlsEngine::decide(const netlist::Design& design,
 
   std::vector<std::uint8_t> flags(design.nl.num_nets(), 0);
   std::vector<float> best(design.nl.num_nets(), 0.0f);
-  for (const ml::PathGraph& g : corpus.graphs) {
-    const std::vector<double> probs = predict(g);
-    for (std::size_t i = 0; i < probs.size(); ++i) {
-      const std::uint32_t net = g.net_ids[i];
-      if (net == netlist::kNullId) continue;
-      best[net] = std::max(best[net], static_cast<float>(probs[i]));
+  {
+    GNNMLS_SPAN("mls.decide.inference");
+    for (const ml::PathGraph& g : corpus.graphs) {
+      const std::vector<double> probs = predict(g);
+      for (std::size_t i = 0; i < probs.size(); ++i) {
+        const std::uint32_t net = g.net_ids[i];
+        if (net == netlist::kNullId) continue;
+        best[net] = std::max(best[net], static_cast<float>(probs[i]));
+      }
     }
   }
   // Candidates above threshold, optionally verified by a what-if trial,
@@ -138,6 +143,9 @@ std::vector<std::uint8_t> GnnMlsEngine::decide(const netlist::Design& design,
     flags[c.net] = 1;
     ++count;
   }
+  obs::Metrics::instance().counter("decide.flagged").add(count);
+  obs::Metrics::instance().counter("decide.vetoed").add(vetoed);
+  obs::Metrics::instance().counter("decide.capped").add(capped);
   util::log_info("gnn-mls: flagged ", count, " nets (", vetoed, " vetoed, ", capped,
                  " over budget) from ", corpus.graphs.size(), " paths");
   return flags;

@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace gnnmls::obs {
+
+// Node-based maps keep handle addresses stable across registrations; the
+// mutex guards registration and snapshots, never the increments themselves.
+struct Metrics::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+};
+
+Metrics& Metrics::instance() {
+  static Metrics m;
+  return m;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  if (i.gauges.find(name) != i.gauges.end())
+    throw std::logic_error("obs metric '" + std::string(name) + "' is a gauge, not a counter");
+  auto it = i.counters.find(name);
+  if (it == i.counters.end())
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& Metrics::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  if (i.counters.find(name) != i.counters.end())
+    throw std::logic_error("obs metric '" + std::string(name) + "' is a counter, not a gauge");
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end())
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+std::vector<MetricSample> Metrics::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<MetricSample> out;
+  out.reserve(i.counters.size() + i.gauges.size());
+  // std::map iteration is already name-sorted; merge the two ranges.
+  auto c = i.counters.begin();
+  auto g = i.gauges.begin();
+  while (c != i.counters.end() || g != i.gauges.end()) {
+    const bool take_counter =
+        g == i.gauges.end() || (c != i.counters.end() && c->first < g->first);
+    if (take_counter) {
+      out.push_back({c->first, true, static_cast<double>(c->second->value())});
+      ++c;
+    } else {
+      out.push_back({g->first, false, g->second->value()});
+      ++g;
+    }
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+}
+
+std::string Metrics::table() const {
+  util::Table table({"metric", "kind", "value"});
+  for (const MetricSample& s : snapshot()) {
+    if (s.value == 0.0) continue;
+    table.add_row({s.name, s.is_counter ? "counter" : "gauge",
+                   s.is_counter ? util::fmt_count(static_cast<long long>(s.value))
+                                : util::fmt_fixed(s.value, 4)});
+  }
+  return table.render();
+}
+
+}  // namespace gnnmls::obs

@@ -1,0 +1,77 @@
+// Named counters and gauges for flow telemetry.
+//
+// Counters accumulate within a flow run (router rip-ups, STA pin
+// re-evaluations, faults simulated, check diagnostics); gauges hold the
+// latest value of something (per-epoch training loss, dirty-set size,
+// overflow gcells). Both are always on — an increment is one relaxed atomic
+// add, cheap enough for per-net/per-pin paths — and snapshot-able and
+// reset-able per flow run, which is how benches and gnnmls_lint scope them.
+//
+// Hot paths cache the handle once (function-local static), so the name
+// lookup happens a single time per call site:
+//
+//   static obs::Counter& rips = obs::Metrics::instance().counter("route.rip_ups");
+//   rips.add(affected.size());
+//
+// Handles stay valid forever: reset() zeroes values but never invalidates
+// registered metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnnmls::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+struct MetricSample {
+  std::string name;
+  bool is_counter = true;
+  double value = 0.0;
+};
+
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  // Finds or registers; the returned reference is stable for the process
+  // lifetime. A name is either a counter or a gauge, never both (the second
+  // kind requested under the same name throws std::logic_error).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  // All registered metrics, sorted by name (zero-valued ones included).
+  std::vector<MetricSample> snapshot() const;
+  // Zeroes every value; handles stay valid.
+  void reset();
+  // "metric | kind | value" rendering of the non-zero snapshot entries.
+  std::string table() const;
+
+ private:
+  Metrics() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace gnnmls::obs

@@ -4,10 +4,14 @@
 #include <cmath>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gnnmls::pdn {
 
 IrDropResult solve_ir_drop(const PdnGridSpec& spec, const std::vector<double>& power_map_mw,
                            int map_nx, int map_ny) {
+  GNNMLS_SPAN("pdn.ir_solve");
   IrDropResult result;
   // PDN node grid: one node per strap crossing, capped for solver cost.
   int nx = std::max(2, static_cast<int>(spec.die_w_um / spec.strap_pitch_um));
@@ -75,6 +79,9 @@ IrDropResult solve_ir_drop(const PdnGridSpec& spec, const std::vector<double>& p
   }
   result.mean_drop_mv = sum / static_cast<double>(v.size());
   result.drop_pct_of_vdd = result.max_drop_mv / (spec.vdd * 1e3) * 100.0;
+  obs::Metrics::instance().counter("pdn.ir_iterations").add(
+      static_cast<std::uint64_t>(result.iterations));
+  obs::Metrics::instance().gauge("pdn.max_drop_mv").set(result.max_drop_mv);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::pdn {
@@ -39,6 +40,7 @@ std::vector<double> power_density_map(const netlist::Design& design, const tech:
 
 PdnDesign synthesize_pdn(const netlist::Design& design, const tech::Tech3D& tech,
                          const std::vector<route::NetRoute>& routes, const PdnOptions& options) {
+  GNNMLS_SPAN("pdn.synthesize");
   PdnDesign out;
   const double vdd_min = tech.vdd_min();
   const int map_nx = 48, map_ny = 48;

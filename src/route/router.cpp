@@ -5,11 +5,31 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::route {
 
 namespace {
+
+// Counter handles are resolved once (registry lookup takes a lock) and the
+// hot loops batch into locals, so the per-net cost is a handful of relaxed
+// atomic adds.
+struct RouteCounters {
+  obs::Counter& edge_candidates = obs::Metrics::instance().counter("route.edge_candidates");
+  obs::Counter& edges_routed = obs::Metrics::instance().counter("route.edges_routed");
+  obs::Counter& mls_fallbacks = obs::Metrics::instance().counter("route.mls_fallbacks");
+  obs::Counter& f2f_committed = obs::Metrics::instance().counter("route.f2f_vias_committed");
+  obs::Counter& nets_routed = obs::Metrics::instance().counter("route.nets_routed");
+  obs::Counter& rip_ups = obs::Metrics::instance().counter("route.rip_ups");
+  obs::Counter& eco_reroutes = obs::Metrics::instance().counter("route.eco_reroutes");
+  obs::Counter& trial_routes = obs::Metrics::instance().counter("route.trial_routes");
+  static RouteCounters& get() {
+    static RouteCounters c;
+    return c;
+  }
+};
 
 using netlist::Id;
 using netlist::kNullId;
@@ -114,6 +134,9 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
   // ---- route each tree edge ------------------------------------------------
   // Per-edge electrical results, used for Elmore afterwards.
   std::vector<double> edge_res(n, 0.0), edge_cap(n, 0.0);
+
+  // Batched per-net observability tallies, flushed once before returning.
+  std::uint64_t n_candidates = 0, n_edges = 0, n_fallbacks = 0, n_f2f_committed = 0;
 
   const double g = grid_.gcell_um();
   const double penalty_w = options_.congestion_penalty_ps;
@@ -239,6 +262,7 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
       for (const EdgeChoice& c : candidates)
         if (c.overflow < 1.0) shared_fits = true;
       if (!shared_fits) {
+        ++n_fallbacks;
         candidates.clear();
         const int nl_t = grid_.num_layers(a.tier);
         for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
@@ -253,7 +277,9 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
       const int nl_t = grid_.num_layers(a.tier);
       for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
     }
+    n_candidates += candidates.size();
     if (candidates.empty()) continue;
+    ++n_edges;
     const EdgeChoice& pick = *std::min_element(
         candidates.begin(), candidates.end(),
         [](const EdgeChoice& x, const EdgeChoice& y) { return x.cost_ps < y.cost_ps; });
@@ -288,6 +314,7 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
       double dummy = 0.0;
       walk(pick.route_tier, hlayer, vlayer, gx1, gy1, gx2, gy2, true, &dummy);
       if (pick.f2f > 0) {
+        n_f2f_committed += static_cast<std::uint64_t>(pick.f2f);
         grid_.add_f2f(gx1, gy1, 1.0f);
         if (commit_rec_)
           commit_rec_->f2f.push_back(static_cast<std::uint32_t>(grid_.f2f_index(gx1, gy1)));
@@ -355,6 +382,12 @@ NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
   for (std::size_t s = 0; s < net.sinks.size(); ++s)
     out.sink_elmore_ps[s] = static_cast<float>(elmore[s + 1]);
   out.load_ff = static_cast<float>(cap_below[0]);
+
+  RouteCounters& rc = RouteCounters::get();
+  rc.edge_candidates.add(n_candidates);
+  rc.edges_routed.add(n_edges);
+  if (n_fallbacks) rc.mls_fallbacks.add(n_fallbacks);
+  if (n_f2f_committed) rc.f2f_committed.add(n_f2f_committed);
   return out;
 }
 
@@ -398,6 +431,7 @@ void Router::rip_up(Id net) {
 }
 
 RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
+  GNNMLS_SPAN("route.route_all");
   const netlist::Netlist& nl = design_.nl;
   grid_.clear_usage();
   routes_.assign(nl.num_nets(), NetRoute{});
@@ -417,6 +451,10 @@ RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
   }
   routed_revision_ = nl.revision();
   const RouteSummary summary = summarize();
+  RouteCounters::get().nets_routed.add(nl.num_nets());
+  obs::Metrics::instance().gauge("route.overflow_gcells")
+      .set(static_cast<double>(summary.census.overflow_gcells));
+  obs::Metrics::instance().gauge("route.wl_m").set(summary.total_wl_m);
   util::log_debug("router: WL ", summary.total_wl_m, " m, MLS nets ", summary.mls_nets,
                   ", overflow gcells ", summary.census.overflow_gcells);
   return summary;
@@ -425,6 +463,7 @@ RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
 RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty,
                                   const std::vector<std::uint8_t>& mls_flags,
                                   RerouteMode mode) {
+  GNNMLS_SPAN("route.reroute_nets");
   const netlist::Netlist& nl = design_.nl;
   const std::size_t n = nl.num_nets();
   const std::size_t old_n = routes_.size();
@@ -484,6 +523,11 @@ RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty,
   before.reserve(affected.size());
   for (const Id i : affected) before.push_back(routes_[i]);
 
+  {
+    RouteCounters& rc = RouteCounters::get();
+    rc.rip_ups.add(affected.size());
+    rc.eco_reroutes.add(1);
+  }
   for (const Id i : affected) rip_up(i);
   mls_flags_ = mls_flags;
   for (const Id i : affected) {
@@ -507,6 +551,7 @@ RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty, RerouteMod
 }
 
 NetRoute Router::trial_route(Id net, bool mls) const {
+  RouteCounters::get().trial_routes.add(1);
   // route_net(commit=false) doesn't mutate; cast away const for code reuse.
   return const_cast<Router*>(this)->route_net(net, mls, /*commit=*/false);
 }

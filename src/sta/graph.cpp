@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sta/delay.hpp"
 #include "util/log.hpp"
 
@@ -17,6 +19,16 @@ using netlist::PinDir;
 const tech::Library& lib_of(const tech::Tech3D& tech, const netlist::CellInst& c) {
   return c.tier == 0 ? tech.bottom : tech.top;
 }
+
+struct StaCounters {
+  obs::Counter& full_runs = obs::Metrics::instance().counter("sta.full_runs");
+  obs::Counter& incremental_updates = obs::Metrics::instance().counter("sta.incremental_updates");
+  obs::Counter& pin_evals = obs::Metrics::instance().counter("sta.pin_evals");
+  static StaCounters& get() {
+    static StaCounters c;
+    return c;
+  }
+};
 }  // namespace
 
 TimingGraph::TimingGraph(const netlist::Design& design, const tech::Tech3D& tech,
@@ -209,6 +221,7 @@ StaResult TimingGraph::finalize_result() const {
 }
 
 StaResult TimingGraph::run(double clock_ps, double clock_uncertainty_ps) {
+  GNNMLS_SPAN("sta.run");
   clock_ps_ = clock_ps;
   uncertainty_ps_ = clock_uncertainty_ps;
   const netlist::Netlist& nl = design_.nl;
@@ -226,12 +239,18 @@ StaResult TimingGraph::run(double clock_ps, double clock_uncertainty_ps) {
     slack_[p] = required_[p] - (arrival_[p] > kNegInf / 2 ? arrival_[p] : 0.0);
 
   const StaResult result = finalize_result();
+  {
+    StaCounters& sc = StaCounters::get();
+    sc.full_runs.add(1);
+    sc.pin_evals.add(2 * topo_.size());  // one forward + one backward sweep
+  }
   util::log_debug("sta: WNS ", result.wns_ps, " ps, TNS ", result.tns_ns, " ns, #vio ",
                   result.violating_endpoints, "/", result.endpoints);
   return result;
 }
 
 StaResult TimingGraph::update(std::span<const netlist::Id> dirty_nets) {
+  GNNMLS_SPAN("sta.update");
   const netlist::Netlist& nl = design_.nl;
   if (clock_ps_ <= 0.0)
     throw std::logic_error("TimingGraph::update called before run()");
@@ -256,8 +275,10 @@ StaResult TimingGraph::update(std::span<const netlist::Id> dirty_nets) {
 
   // Forward cone: re-evaluate flagged pins in topological order, flagging
   // successors whenever an arrival actually moved.
+  std::uint64_t n_evals = 0;
   for (const Id p : topo_) {
     if (!fwd[p]) continue;
+    ++n_evals;
     const double old_arrival = arrival_[p];
     const double old_delay = out_delay_[p];
     forward_eval(p);
@@ -292,6 +313,7 @@ StaResult TimingGraph::update(std::span<const netlist::Id> dirty_nets) {
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
     const Id p = *it;
     if (!bwd[p]) continue;
+    ++n_evals;
     const double old_req = required_[p];
     backward_eval(p);
     if (required_[p] == old_req) continue;
@@ -309,6 +331,11 @@ StaResult TimingGraph::update(std::span<const netlist::Id> dirty_nets) {
     slack_[p] = required_[p] - (arrival_[p] > kNegInf / 2 ? arrival_[p] : 0.0);
 
   const StaResult result = finalize_result();
+  {
+    StaCounters& sc = StaCounters::get();
+    sc.incremental_updates.add(1);
+    sc.pin_evals.add(n_evals);
+  }
   util::log_debug("sta(update): ", dirty_nets.size(), " dirty nets, WNS ", result.wns_ps,
                   " ps, TNS ", result.tns_ns, " ns");
   return result;

@@ -1,11 +1,24 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace gnnmls::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+LogLevel initial_level() {
+  const char* env = std::getenv("GNNMLS_LOG_LEVEL");
+  return env ? parse_log_level(env, LogLevel::kInfo) : LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -16,12 +29,28 @@ const char* tag(LogLevel level) {
     default: return "?????";
   }
 }
+
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel parse_log_level(std::string_view text, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel log_level() { return level_ref().load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { level_ref().store(level, std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   std::fprintf(stderr, "[%s] %.*s\n", tag(level), static_cast<int>(msg.size()), msg.data());
 }
 

@@ -13,12 +13,18 @@ namespace gnnmls::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Global log threshold; messages below it are dropped.
+// Global log threshold; messages below it are dropped. The initial value
+// honors the GNNMLS_LOG_LEVEL env var (debug|info|warn|error|off, default
+// info); set_log_level overrides it at runtime.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-// Emits one line to stderr with a level tag. Thread-compatible (benches and
-// flows are single-threaded; tests may run in parallel processes).
+// "debug"/"info"/"warn"/"warning"/"error"/"off" (case-insensitive) to a
+// level; anything else returns `fallback`. Exposed for tests.
+LogLevel parse_log_level(std::string_view text, LogLevel fallback);
+
+// Emits one line to stderr with a level tag. Thread-safe: the write is
+// serialized under a mutex so concurrent sections cannot interleave lines.
 void log_line(LogLevel level, std::string_view msg);
 
 namespace detail {

@@ -1,0 +1,468 @@
+// Observability subsystem tests: span nesting/aggregation, counter and gauge
+// snapshot/reset semantics, Chrome trace-event JSON validity (parsed back by
+// a minimal JSON reader), and the flow-level contract that FlowMetrics'
+// span-derived stage breakdown sums to runtime_s.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mls/flow.hpp"
+#include "netlist/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace gnnmls;
+
+// ---- minimal JSON reader ----------------------------------------------------
+// Just enough recursive descent to round-trip the tracer's output: objects,
+// arrays, strings (with escapes), numbers, true/false/null. Parse failures
+// surface as ok=false rather than exceptions so EXPECT output stays readable.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return string(out.str);
+    }
+    if (c == 't') { out.kind = JsonValue::kBool; out.b = true; return literal("true"); }
+    if (c == 'f') { out.kind = JsonValue::kBool; out.b = false; return literal("false"); }
+    if (c == 'n') { out.kind = JsonValue::kNull; return literal("null"); }
+    return number(out);
+  }
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            pos_ += 4;  // decoded value not needed for these tests
+            c = '?';
+            break;
+          }
+          default: return false;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out.kind = JsonValue::kNumber;
+    out.num = std::stod(std::string(s_.substr(start, pos_ - start)));
+    return true;
+  }
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue item;
+      if (!value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue val;
+      if (!value(val)) return false;
+      out.members.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+void spin_for_us(int us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+const obs::SpanStat* find_stat(const std::vector<obs::SpanStat>& stats,
+                               const std::string& name) {
+  for (const obs::SpanStat& s : stats)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+// ---- span tree --------------------------------------------------------------
+
+TEST(Tracer, NestingAndAggregation) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    obs::Span outer("outer");
+    spin_for_us(200);
+    {
+      obs::Span inner("inner");
+      spin_for_us(100);
+    }
+  }
+  tracer.set_enabled(false);
+
+  const std::vector<obs::SpanStat> stats = tracer.snapshot();
+  const obs::SpanStat* outer = find_stat(stats, "outer");
+  const obs::SpanStat* inner = find_stat(stats, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(inner->count, 3u);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(outer->parent, -1);
+  // inner's parent index must point at outer's entry in the snapshot.
+  const auto outer_idx = static_cast<int>(outer - stats.data());
+  EXPECT_EQ(inner->parent, outer_idx);
+  // Totals: outer covers inner, self excludes it.
+  EXPECT_GE(outer->total_s, inner->total_s);
+  EXPECT_NEAR(outer->self_s, outer->total_s - inner->total_s, 1e-9);
+  EXPECT_GE(inner->total_s, 3 * 100e-6 * 0.5);  // generous slack for CI jitter
+  EXPECT_DOUBLE_EQ(tracer.total_seconds("inner"), inner->total_s);
+
+  const std::string table = tracer.profile_table();
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  EXPECT_NE(table.find("inner"), std::string::npos);
+}
+
+TEST(Tracer, SameNameDifferentParentIsTwoNodes) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.set_enabled(true);
+  {
+    obs::Span a("a");
+    obs::Span shared("shared");
+  }
+  {
+    obs::Span b("b");
+    obs::Span shared("shared");
+  }
+  tracer.set_enabled(false);
+  const std::vector<obs::SpanStat> stats = tracer.snapshot();
+  int shared_nodes = 0;
+  for (const obs::SpanStat& s : stats)
+    if (s.name == "shared") ++shared_nodes;
+  EXPECT_EQ(shared_nodes, 2);
+  // total_seconds sums both call paths.
+  double sum = 0.0;
+  for (const obs::SpanStat& s : stats)
+    if (s.name == "shared") sum += s.total_s;
+  EXPECT_DOUBLE_EQ(tracer.total_seconds("shared"), sum);
+}
+
+TEST(Tracer, DisabledSpansRecordNothingButStillTime) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.set_enabled(false);
+  obs::Span s("invisible");
+  spin_for_us(100);
+  s.end();
+  EXPECT_GT(s.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(s.seconds(), s.seconds());  // final value is stable
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, ResetDiscardsOpenSpans) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.set_enabled(true);
+  {
+    obs::Span open("stale");
+    tracer.reset();  // epoch bump: the open span must not corrupt the new tree
+    {
+      obs::Span fresh("fresh");
+      spin_for_us(50);
+    }
+  }  // "stale" closes after the reset; it must be ignored
+  tracer.set_enabled(false);
+  const std::vector<obs::SpanStat> stats = tracer.snapshot();
+  EXPECT_EQ(find_stat(stats, "stale"), nullptr);
+  const obs::SpanStat* fresh = find_stat(stats, "fresh");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->depth, 0);     // parent was discarded, so it is a root
+  EXPECT_EQ(fresh->count, 1u);    // the stale close must not alias onto it
+}
+
+// ---- Chrome trace export ----------------------------------------------------
+
+TEST(Tracer, ChromeTraceJsonRoundTrips) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.set_enabled(true);
+  {
+    obs::Span outer("phase \"quoted\\slash\"");  // escaping must survive
+    obs::Span inner("phase.inner");
+    spin_for_us(50);
+  }
+  tracer.set_enabled(false);
+
+  const std::string json = tracer.chrome_trace_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+  ASSERT_EQ(events->items.size(), 2u);
+  bool saw_escaped = false;
+  for (const JsonValue& ev : events->items) {
+    ASSERT_EQ(ev.kind, JsonValue::kObject);
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* dur = ev.find("dur");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    EXPECT_EQ(ph->str, "X");
+    EXPECT_GE(ts->num, 0.0);
+    EXPECT_GE(dur->num, 0.0);
+    if (name->str == "phase \"quoted\\slash\"") saw_escaped = true;
+  }
+  EXPECT_TRUE(saw_escaped);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+// ---- metrics ----------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeSnapshotReset) {
+  obs::Metrics& metrics = obs::Metrics::instance();
+  metrics.reset();
+  obs::Counter& c = metrics.counter("test.counter");
+  obs::Gauge& g = metrics.gauge("test.gauge");
+  c.add(3);
+  c.add();
+  g.set(2.5);
+  EXPECT_EQ(c.value(), 4u);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+  const std::vector<obs::MetricSample> snap = metrics.snapshot();
+  const auto find = [&](const std::string& name) -> const obs::MetricSample* {
+    for (const obs::MetricSample& s : snap)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+  const obs::MetricSample* cs = find("test.counter");
+  const obs::MetricSample* gs = find("test.gauge");
+  ASSERT_NE(cs, nullptr);
+  ASSERT_NE(gs, nullptr);
+  EXPECT_TRUE(cs->is_counter);
+  EXPECT_FALSE(gs->is_counter);
+  EXPECT_DOUBLE_EQ(cs->value, 4.0);
+  EXPECT_DOUBLE_EQ(gs->value, 2.5);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end(),
+                             [](const auto& a, const auto& b) { return a.name < b.name; }));
+
+  // Reset zeroes values but keeps handles live.
+  metrics.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  c.add(7);
+  EXPECT_EQ(metrics.counter("test.counter").value(), 7u);
+
+  // Same-name lookups return the same object; kind mismatch throws.
+  EXPECT_EQ(&metrics.counter("test.counter"), &c);
+  EXPECT_THROW(metrics.gauge("test.counter"), std::logic_error);
+  EXPECT_THROW(metrics.counter("test.gauge"), std::logic_error);
+
+  const std::string table = metrics.table();
+  EXPECT_NE(table.find("test.counter"), std::string::npos);
+}
+
+TEST(Metrics, CountersAreThreadSafe) {
+  obs::Metrics& metrics = obs::Metrics::instance();
+  obs::Counter& c = metrics.counter("test.mt_counter");
+  c.reset();
+  constexpr int kThreads = 4, kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+// ---- log level --------------------------------------------------------------
+
+TEST(Log, ParseLogLevel) {
+  using util::LogLevel;
+  EXPECT_EQ(util::parse_log_level("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("INFO", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("Warn", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("warning", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(util::parse_log_level("none", LogLevel::kInfo), LogLevel::kOff);
+  EXPECT_EQ(util::parse_log_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("", LogLevel::kError), LogLevel::kError);
+}
+
+// ---- flow-level stage accounting --------------------------------------------
+
+class FlowStages : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::set_log_level(util::LogLevel::kWarn);
+    mls::FlowConfig cfg;
+    cfg.heterogeneous = true;
+    cfg.run_pdn = false;  // keep the suite fast; pdn_s is exercised in lint/CI
+    flow_ = new mls::DesignFlow(netlist::make_maeri_16pe(), cfg);
+  }
+  static void TearDownTestSuite() {
+    delete flow_;
+    flow_ = nullptr;
+  }
+  static mls::DesignFlow* flow_;
+};
+
+mls::DesignFlow* FlowStages::flow_ = nullptr;
+
+// |stage_sum - runtime| <= max(5% of runtime, 2ms): the 5% covers between-
+// stage glue (metric assembly, logging); the absolute floor keeps the check
+// meaningful when the whole flow takes a few milliseconds.
+void expect_stages_cover_runtime(const mls::FlowMetrics& m) {
+  const double tol = std::max(0.05 * m.runtime_s, 0.002);
+  EXPECT_NEAR(m.stage_sum_s(), m.runtime_s, tol)
+      << "route=" << m.route_s << " sta=" << m.sta_s << " power=" << m.power_s
+      << " pdn=" << m.pdn_s << " check=" << m.check_s << " decide=" << m.decide_s
+      << " dft=" << m.dft_s;
+  EXPECT_LE(m.stage_sum_s(), m.runtime_s + tol);
+}
+
+TEST_F(FlowStages, EvaluateStageBreakdownSumsToRuntime) {
+  obs::Tracer::instance().reset();
+  obs::Tracer::instance().set_enabled(true);
+  const mls::FlowMetrics m = flow_->evaluate_no_mls();
+  obs::Tracer::instance().set_enabled(false);
+
+  EXPECT_GT(m.runtime_s, 0.0);
+  EXPECT_GT(m.route_s, 0.0);
+  EXPECT_GT(m.sta_s, 0.0);
+  EXPECT_GT(m.power_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.pdn_s, 0.0);   // run_pdn = false
+  EXPECT_DOUBLE_EQ(m.dft_s, 0.0);   // plain evaluate
+  expect_stages_cover_runtime(m);
+
+  // The traced run aggregated the flow's spans under flow.evaluate.
+  const std::vector<obs::SpanStat> stats = obs::Tracer::instance().snapshot();
+  const obs::SpanStat* root = find_stat(stats, "flow.evaluate");
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(find_stat(stats, "flow.route"), nullptr);
+  EXPECT_NE(find_stat(stats, "flow.sta"), nullptr);
+  EXPECT_NEAR(root->total_s, m.runtime_s, std::max(0.05 * m.runtime_s, 0.002));
+}
+
+TEST_F(FlowStages, EvaluateWithDftStageBreakdown) {
+  const mls::DesignFlow::DftMetrics dm =
+      flow_->evaluate_with_dft({}, mls::Strategy::kNone, dft::MlsDftStyle::kWireBased);
+  const mls::FlowMetrics& m = dm.flow;
+  EXPECT_GT(m.dft_s, 0.0);  // insertion is on the clock
+  EXPECT_GT(m.route_s, 0.0);
+  EXPECT_GT(m.sta_s, 0.0);
+  expect_stages_cover_runtime(m);
+}
+
+TEST_F(FlowStages, FlowPopulatesMetricsRegistry) {
+  obs::Metrics& metrics = obs::Metrics::instance();
+  metrics.reset();
+  flow_->evaluate_no_mls();
+  EXPECT_GT(metrics.counter("route.nets_routed").value(), 0u);
+  EXPECT_GT(metrics.counter("route.edges_routed").value(), 0u);
+  EXPECT_GT(metrics.counter("sta.full_runs").value(), 0u);
+  EXPECT_GT(metrics.counter("sta.pin_evals").value(), 0u);
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 //   $ gnnmls_lint --design maeri16 --strategy sota
 //   $ gnnmls_lint --list-rules
 //   $ gnnmls_lint --inject dangling-pin        # demo: NL-001 must fire
+//   $ gnnmls_lint --design maeri16 --profile --trace-out trace.json
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -17,6 +18,8 @@
 
 #include "check/checks.hpp"
 #include "mls/flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 using namespace gnnmls;
@@ -36,7 +39,12 @@ void usage(std::FILE* to) {
                "  --inject FAULT   corrupt the design first, to demo a rule:\n"
                "                   dangling-pin | multi-driver | dead-cell\n"
                "  --list-rules     print the rule table and exit\n"
-               "  --verbose        flow progress on stderr\n");
+               "  --profile        trace the flow; print the span profile table and\n"
+               "                   the metrics ledger after the report\n"
+               "  --trace-out F    write a Chrome trace-event JSON (chrome://tracing)\n"
+               "                   of the flow to F (implies tracing)\n"
+               "  --verbose        flow progress on stderr\n"
+               "env: GNNMLS_TRACE=F traces any run; GNNMLS_LOG_LEVEL sets verbosity\n");
 }
 
 netlist::Design make_design(const std::string& name, std::uint64_t seed) {
@@ -105,8 +113,10 @@ int main(int argc, char** argv) {
   std::string design_name = "maeri16";
   std::string strategy = "none";
   std::string injection;
+  std::string trace_out;
   std::uint64_t seed = 0;
-  bool hetero = true, run_pdn = true, with_dft = false, verbose = false;
+  bool hetero = true, run_pdn = true, with_dft = false, verbose = false, profile = false;
+  obs::init_from_env();  // honor GNNMLS_TRACE before the flow starts
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,6 +135,8 @@ int main(int argc, char** argv) {
     else if (arg == "--with-dft") with_dft = true;
     else if (arg == "--inject") injection = value();
     else if (arg == "--list-rules") { list_rules(); return 0; }
+    else if (arg == "--profile") profile = true;
+    else if (arg == "--trace-out") trace_out = value();
     else if (arg == "--verbose") verbose = true;
     else if (arg == "--help" || arg == "-h") { usage(stdout); return 0; }
     else {
@@ -138,6 +150,7 @@ int main(int argc, char** argv) {
   }
 
   util::set_log_level(verbose ? util::LogLevel::kInfo : util::LogLevel::kWarn);
+  if (profile || !trace_out.empty()) obs::Tracer::instance().set_enabled(true);
 
   netlist::Design design = make_design(design_name, seed);
   if (!injection.empty()) inject(design, injection);
@@ -193,6 +206,19 @@ int main(int argc, char** argv) {
 
   const check::Report report = flow.run_checks();
   std::fputs(report.render().c_str(), stdout);
+
+  if (profile) {
+    std::printf("\nspan profile:\n%s", obs::Tracer::instance().profile_table().c_str());
+    std::printf("\nmetrics:\n%s", obs::Metrics::instance().table().c_str());
+  }
+  if (!trace_out.empty()) {
+    if (obs::Tracer::instance().write_chrome_trace(trace_out))
+      std::printf("\ngnnmls_lint: wrote Chrome trace to %s (open in chrome://tracing)\n",
+                  trace_out.c_str());
+    else
+      std::fprintf(stderr, "gnnmls_lint: could not write trace to %s\n", trace_out.c_str());
+  }
+
   if (!report.clean()) {
     std::printf("gnnmls_lint: FAILED (%zu error(s))\n", report.errors());
     return 1;
