@@ -5,7 +5,11 @@
 // turns the full flow around in seconds).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "dft/faults.hpp"
+#include "flow/registry.hpp"
 #include "ml/dgi.hpp"
 #include "ml/mlp.hpp"
 #include "mls/flow.hpp"
@@ -209,6 +213,9 @@ void BM_FlowStages(benchmark::State& st) {
   auto& f = *state().flow;
   mls::FlowMetrics m;
   for (auto _ : st) {
+    // The pass manager would skip everything on an unmutated DB (that case
+    // is BM_PassSkip's); invalidate routing so every stage really runs.
+    f.db().invalidate(core::Stage::kRoutes);
     m = f.evaluate_no_mls();
     // Not DoNotOptimize(m.runtime_s): benchmark 1.7.x's lvalue overload uses
     // an "+m,r" asm constraint that GCC miscompiles at -O2 (gcc PR105519),
@@ -222,6 +229,89 @@ void BM_FlowStages(benchmark::State& st) {
   st.counters["runtime_s"] = m.runtime_s;
 }
 BENCHMARK(BM_FlowStages)->Unit(benchmark::kMillisecond);
+
+// The revision-aware scheduler's best case: nothing changed, so evaluate()
+// is one scheduling walk plus metrics assembly from the DB caches. The
+// counters pin the contract (0 executed, everything skipped) so a CI diff
+// shows immediately if a pass starts leaking staleness.
+void BM_PassSkip(benchmark::State& st) {
+  auto& f = *state().flow;
+  f.evaluate_no_mls();  // make every stage fresh
+  mls::FlowMetrics m;
+  std::size_t executed = 0, skipped = 0;
+  for (auto _ : st) {
+    m = f.evaluate_no_mls();
+    executed = f.last_run_report().executed.size();
+    skipped = f.last_run_report().skipped.size();
+    benchmark::ClobberMemory();  // see BM_FlowStages: lvalue DoNotOptimize miscompiles
+  }
+  st.counters["passes_executed"] = static_cast<double>(executed);
+  st.counters["passes_skipped"] = static_cast<double>(skipped);
+  st.counters["skip_rate"] =
+      static_cast<double>(skipped) / static_cast<double>(executed + skipped);
+  st.counters["runtime_s"] = m.runtime_s;
+}
+BENCHMARK(BM_PassSkip)->Unit(benchmark::kMicrosecond);
+
+// Pre-bond fault simulation as a pass, to give the executor a second
+// compute-heavy unit that is independent of the PDN solve (reads
+// netlist+test, writes nothing — no stage conflict with pdn's
+// netlist+routes → pdn). The tick feeds the skip fingerprint so the
+// manager re-runs it every iteration instead of ledger-skipping a pure
+// reader whose inputs never change.
+struct FaultSimPass : flow::Pass {
+  std::uint64_t tick = 0;
+  const char* name() const override { return "faultsim"; }
+  std::vector<core::Stage> reads() const override {
+    return {core::Stage::kNetlist, core::Stage::kTest};
+  }
+  std::vector<core::Stage> writes() const override { return {}; }
+  std::uint64_t fingerprint() const override { return tick; }
+  void run(flow::PassContext& ctx) override {
+    dft::FaultSimulator sim(ctx.db.design().nl, *ctx.db.test_model(), dft::FaultSimOptions{});
+    benchmark::DoNotOptimize(sim.run());
+  }
+};
+
+// One wave of independent passes (pdn ∥ dft fault sim, ~84ms and ~36ms on
+// the 128-PE design) at 1 vs 4 executor threads. The schedule and every
+// result are bit-identical across thread counts (test-enforced); this
+// measures the wall-clock side of that bargain — serial pays the sum,
+// parallel pays the max (on a single-CPU host the two time-slice and the
+// Args read the same; the CPU-time column still shows the split).
+void BM_FlowParallel(benchmark::State& st) {
+  static std::unique_ptr<mls::DesignFlow> flow = [] {
+    util::set_log_level(util::LogLevel::kError);
+    mls::FlowConfig cfg;
+    cfg.heterogeneous = true;
+    cfg.run_pdn = true;
+    auto f = std::make_unique<mls::DesignFlow>(netlist::make_maeri_128pe(), cfg);
+    // Routes + test model committed once; only pdn/faultsim re-run below.
+    f->evaluate_with_dft({}, mls::Strategy::kNone, dft::MlsDftStyle::kWireBased);
+    return f;
+  }();
+  const std::unique_ptr<flow::Pass> pdn_pass = flow::PassRegistry::instance().make("pdn");
+  FaultSimPass faultsim;
+  flow::PassManager pm;
+  mls::FlowMetrics m;
+  flow::PassContext ctx{flow->db(), flow->config(), m};
+  const std::string threads = std::to_string(st.range(0));
+  ::setenv("GNNMLS_THREADS", threads.c_str(), 1);
+  double faultsim_s = 0.0;
+  for (auto _ : st) {
+    flow->db().invalidate(core::Stage::kPdn);
+    ++faultsim.tick;
+    m.pdn_s = 0.0;
+    const flow::RunReport& report = pm.run({pdn_pass.get(), &faultsim}, ctx);
+    faultsim_s = report.find("faultsim")->seconds;
+    benchmark::ClobberMemory();  // see BM_FlowStages: lvalue DoNotOptimize miscompiles
+  }
+  ::unsetenv("GNNMLS_THREADS");
+  st.counters["threads"] = static_cast<double>(st.range(0));
+  st.counters["pdn_s"] = m.pdn_s;
+  st.counters["faultsim_s"] = faultsim_s;
+}
+BENCHMARK(BM_FlowParallel)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_FlowDftStages(benchmark::State& st) {
   // The DFT flow mutates the netlist permanently, so each iteration gets a

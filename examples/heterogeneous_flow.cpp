@@ -4,7 +4,10 @@
 // (Section III-E / Figure 7 / Figure 9).
 #include <cstdio>
 
+#include <string>
+
 #include "floorplan/tier.hpp"
+#include "flow/pass_manager.hpp"
 #include "mls/flow.hpp"
 #include "pdn/irdrop.hpp"
 #include "util/log.hpp"
@@ -44,5 +47,24 @@ int main() {
   // The voltage-domain bookkeeping the level shifters implement.
   std::printf("\nvoltage domains: top die %.2f V, bottom die %.2f V (level-shifted)\n",
               flow.tech().vdd_top(), flow.tech().vdd_bottom());
+
+  // ECO: dirty a single net and re-evaluate. The pass manager sees only the
+  // routes (and everything downstream of them) go stale, so the router takes
+  // the incremental path and the analysis passes re-run in one parallel wave
+  // — no full rebuild, identical code path to the cold run above.
+  flow.db().touch_net(0);
+  const mls::FlowMetrics eco = flow.evaluate_no_mls();
+  const flow::RunReport& report = flow.last_run_report();
+  std::string order;
+  for (std::size_t i = 0; i < report.executed.size(); ++i) {
+    const flow::PassExecution& p = report.executed[i];
+    if (i > 0) order += report.executed[i - 1].wave == p.wave ? " || " : " -> ";
+    order += p.name;
+  }
+  std::printf("\nECO after touching net 0: re-ran %zu of %zu passes in %zu waves (%s)\n",
+              report.executed.size(), report.executed.size() + report.skipped.size(),
+              report.waves, order.c_str());
+  std::printf("ECO route time %.3f ms (vs %.3f ms cold), WNS unchanged at %.1f ps\n",
+              1e3 * eco.route_s, 1e3 * m.route_s, eco.wns_ps);
   return 0;
 }

@@ -7,6 +7,7 @@
 // See train_and_decide.cpp for the GNN-MLS decision engine on top of this.
 #include <cstdio>
 
+#include "flow/pass_manager.hpp"
 #include "mls/flow.hpp"
 #include "util/log.hpp"
 
@@ -41,5 +42,16 @@ int main() {
   }
   std::printf("\nIR drop: %.2f%% of the 0.81 V logic supply (budget 10%%)\n",
               baseline.ir_drop_pct);
+
+  // 4. The flow is a pass pipeline scheduled by revision tags: each evaluate
+  //    above routed, timed, and power-analyzed only because the netlist (or
+  //    the MLS flag set) changed under it. Re-running the same strategy on
+  //    the unmutated design schedules nothing and returns the cached metrics.
+  const mls::FlowMetrics warm = flow.evaluate_sota();
+  const flow::RunReport& report = flow.last_run_report();
+  std::printf("\nre-evaluate on the unmutated design: %zu pass(es) executed, "
+              "%zu skipped (%.3f ms, same WNS %.1f ps)\n",
+              report.executed.size(), report.skipped.size(), 1e3 * warm.runtime_s,
+              warm.wns_ps);
   return 0;
 }

@@ -19,17 +19,28 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo "==> lint gate: gnnmls_lint on the quickstart design (maeri16)"
-./build/tools/gnnmls_lint --design maeri16 --strategy sota
+./build/tools/gnnmls_lint --design maeri16 --strategy sota | tee LINT_sota.txt
 ./build/tools/gnnmls_lint --design maeri16 --strategy sota --with-dft
+
+echo "==> pass-skip gate: a second evaluate on a clean DB must schedule nothing"
+# gnnmls_lint re-runs evaluate() after the flow and prints the scheduler's
+# reschedule count; anything but 0 means a pass is leaking staleness
+# (forgetting a commit, dirtying state it did not declare).
+grep -q 'reschedule: 0 pass(es) on an unmutated DB' LINT_sota.txt
+rm -f LINT_sota.txt
+echo "pass-skip gate OK"
 
 echo "==> perf smoke: incremental-ECO + per-stage microbenchmarks on MAERI-16PE"
 # Exercises the full-route baseline against the incremental paths
 # (Router::reroute_nets / TimingGraph::update) plus the per-stage flow
 # ledgers (BM_Flow*Stages/BM_DecideStage export route_s/sta_s/... counters),
-# so BENCH_incremental.json carries stage times run over run; the gate is
-# that the cases run to completion, the JSON is for trend tracking.
+# the scheduler's skip fast path (BM_PassSkip exports the skip rate), and
+# the 1-vs-4-thread wave timings (BM_FlowParallel exports pdn_s/faultsim_s
+# per thread count), so BENCH_incremental.json carries stage times run over
+# run; the gate is that the cases run to completion, the JSON is for trend
+# tracking.
 ./build/bench/bench_micro \
-  --benchmark_filter='BM_RouteAll|BM_RerouteEco|BM_StaFullRun|BM_StaIncremental|BM_FlowStages|BM_FlowDftStages|BM_DecideStage' \
+  --benchmark_filter='BM_RouteAll|BM_RerouteEco|BM_StaFullRun|BM_StaIncremental|BM_FlowStages|BM_FlowDftStages|BM_DecideStage|BM_PassSkip|BM_FlowParallel' \
   --benchmark_out=BENCH_incremental.json --benchmark_out_format=json \
   --benchmark_min_time=0.05
 

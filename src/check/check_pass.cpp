@@ -1,0 +1,48 @@
+#include "check/check_pass.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "flow/registry.hpp"
+#include "util/log.hpp"
+
+namespace gnnmls::check {
+
+Report run_flow_checks(const core::DesignDB& db, const flow::FlowConfig& config) {
+  Snapshot snapshot;
+  snapshot.design = &db.design();
+  snapshot.tech = &db.tech();
+  snapshot.router = db.router_if_built();
+  snapshot.sta = db.timing_if_fresh();
+  snapshot.pdn = db.pdn();
+  snapshot.mls_flags = &db.mls_flags();
+  snapshot.test_model = db.test_model();
+  snapshot.options = config.checks;
+  snapshot.options.ir_budget_pct = config.pdn.ir_budget_pct;
+  return CheckRegistry::with_default_passes().run(snapshot);
+}
+
+void CheckPass::run(flow::PassContext& ctx) {
+  obs::Span span("flow.checks");
+  const Report report = run_flow_checks(ctx.db, ctx.config);
+  ctx.metrics.check_s += span.seconds();
+  const std::string& design = ctx.db.design().info.name;
+  if (!report.clean()) {
+    util::log_error("flow[", design, "/", ctx.metrics.strategy, "]: strict checks failed\n",
+                    report.render());
+    throw std::runtime_error("design-integrity checks failed at stage boundary (" +
+                             ctx.metrics.strategy + "): " + std::to_string(report.errors()) +
+                             " error(s)");
+  }
+  util::log_debug("flow[", design, "/", ctx.metrics.strategy, "]: checks clean (",
+                  report.warnings(), " warning(s))");
+}
+
+std::unique_ptr<flow::Pass> make_check_pass() { return std::make_unique<CheckPass>(); }
+
+namespace {
+const flow::PassRegistrar reg(60, "check", &make_check_pass);
+}  // namespace
+
+}  // namespace gnnmls::check

@@ -63,9 +63,12 @@ std::uint64_t DesignDB::commit(Stage s) {
   if (s == Stage::kNetlist)
     throw std::logic_error("the netlist stage versions itself (mutation journal)");
   StageTag& t = tags_[static_cast<std::size_t>(s)];
-  t.revision = ++counter_;
+  t.revision = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   t.built_from = revision(upstream_of(s));
-  if (s == Stage::kRoutes) dirty_.clear();
+  if (s == Stage::kRoutes) {
+    dirty_.clear();
+    journal_cursor_ = design_.nl.journal_size();
+  }
   return t.revision;
 }
 
@@ -101,6 +104,38 @@ void DesignDB::touch_journal_since(std::size_t mark) {
   const std::span<const netlist::Id> journal = design_.nl.journal();
   if (mark > journal.size()) return;
   touch_nets(journal.subspan(mark));
+}
+
+void DesignDB::absorb_journal() {
+  const std::size_t size = design_.nl.journal_size();
+  if (journal_cursor_ >= size) return;
+  touch_journal_since(journal_cursor_);
+  journal_cursor_ = size;
+  // Mutators place their own cells (see header); declare placement current
+  // so the staleness that remains is exactly the routing repair.
+  commit(Stage::kPlacement);
+}
+
+void DesignDB::set_mls_flags(std::vector<std::uint8_t> flags) {
+  const std::size_t n = std::max(flags.size(), mls_flags_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t was = i < mls_flags_.size() ? mls_flags_[i] : 0;
+    const std::uint8_t now = i < flags.size() ? flags[i] : 0;
+    if (was != now) touch_net(static_cast<netlist::Id>(i));
+  }
+  mls_flags_ = std::move(flags);
+}
+
+void DesignDB::set_route_summary(const route::RouteSummary& summary, bool incremental) {
+  route_summary_ = summary;
+  route_delta_.valid = incremental;
+  route_delta_.changed = summary.changed_nets;
+}
+
+void DesignDB::set_sta_result(const sta::StaResult& result) {
+  sta_result_ = result;
+  route_delta_.valid = false;  // consumed: the next STA must not reuse it
+  route_delta_.changed.clear();
 }
 
 std::vector<netlist::Id> DesignDB::take_dirty_nets() {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -92,6 +93,15 @@ class DesignDB {
   // after `mark` into the dirty set with touch_journal_since().
   std::size_t journal_mark() const { return design_.nl.journal_size(); }
   void touch_journal_since(std::size_t mark);
+  // Absorbs every journal entry not yet consumed (the DB keeps its own
+  // cursor, advanced here and at every commit(kRoutes)) into the dirty set.
+  // Every mutation source in this codebase places the cells it adds
+  // (buffering, level shifters, scan/DFT insertion), so absorbing their
+  // journal also re-declares the placement stage current; a dedicated
+  // placement pass would take that commit over. No-op when nothing is
+  // pending. The route pass calls this before deciding between full,
+  // replay, and ECO routing.
+  void absorb_journal();
   // Sorted, deduplicated.
   const std::vector<netlist::Id>& dirty_nets() const { return dirty_; }
   bool dirty() const { return !dirty_.empty(); }
@@ -116,15 +126,43 @@ class DesignDB {
   const pdn::PdnDesign* pdn() const { return pdn_ ? &*pdn_ : nullptr; }
   void set_test_model(dft::TestModel model) { test_model_ = std::move(model); }
   const dft::TestModel* test_model() const { return test_model_ ? &*test_model_ : nullptr; }
-  void set_mls_flags(std::vector<std::uint8_t> flags) { mls_flags_ = std::move(flags); }
+  // Replaces the per-net MLS decision vector, touching every net whose flag
+  // actually changed (absent entries count as 0). A flag flip therefore
+  // dirties exactly the nets it affects, routing staleness falls out of the
+  // ordinary fresh(kRoutes) rule, and the route pass repairs the change
+  // with a bit-exact suffix replay instead of a from-scratch route_all.
+  void set_mls_flags(std::vector<std::uint8_t> flags);
   const std::vector<std::uint8_t>& mls_flags() const { return mls_flags_; }
+
+  // ---- stage result caches ----------------------------------------------
+  // Summaries of the last routing / STA commits, kept so that an evaluate()
+  // whose passes were all skipped can still assemble its metrics row from
+  // the DB alone. `incremental` marks a reroute_nets() result, whose
+  // changed_nets list is the exact dirty set for TimingGraph::update(); the
+  // STA pass consumes it (set_sta_result clears the delta) so a stale list
+  // can never feed a later incremental update.
+  void set_route_summary(const route::RouteSummary& summary, bool incremental);
+  const route::RouteSummary* route_summary() const {
+    return route_summary_ ? &*route_summary_ : nullptr;
+  }
+  struct RouteDelta {
+    bool valid = false;  // true only between an incremental route and the next STA
+    std::vector<netlist::Id> changed;
+  };
+  const RouteDelta& route_delta() const { return route_delta_; }
+  void set_sta_result(const sta::StaResult& result);
+  const sta::StaResult* sta_result() const { return sta_result_ ? &*sta_result_ : nullptr; }
 
  private:
   netlist::Design design_;
   const tech::Tech3D* tech_;
   std::array<StageTag, kNumStages> tags_{};
-  std::uint64_t counter_ = 0;  // revision source for committed stages
+  // Revision source for committed stages. Atomic because independent passes
+  // commit their disjoint stages concurrently from executor threads; the
+  // tags themselves are per-stage and each is written by exactly one pass.
+  std::atomic<std::uint64_t> counter_{0};
   std::vector<netlist::Id> dirty_;
+  std::size_t journal_cursor_ = 0;  // consumed prefix of the mutation journal
   std::unique_ptr<route::Router> router_;
   std::unique_ptr<sta::TimingGraph> sta_;
   std::uint64_t sta_built_at_ = 0;  // netlist revision at TimingGraph build
@@ -132,6 +170,9 @@ class DesignDB {
   std::optional<pdn::PdnDesign> pdn_;
   std::optional<dft::TestModel> test_model_;
   std::vector<std::uint8_t> mls_flags_;
+  std::optional<route::RouteSummary> route_summary_;
+  RouteDelta route_delta_;
+  std::optional<sta::StaResult> sta_result_;
 };
 
 }  // namespace gnnmls::core

@@ -1,0 +1,34 @@
+// DftPass: scan + MLS-DFT insertion (and its routing repair) as a flow pass.
+//
+// Reads {routes}; writes {test, routes, placement}. Insertion is
+// post-routing (paper Figure 4), mutates the netlist, and places its own
+// cells — so the pass owns the whole repair: it absorbs the mutation
+// journal into the dirty set, commits the test model, and ECO-reroutes the
+// cut nets before returning. Declaring kRoutes/kPlacement as writes makes
+// downstream passes (STA, power, PDN) reschedule after it; needs_run keys
+// on kTest alone so those side-effect writes can never re-trigger a second
+// insertion on an already-testable design.
+#pragma once
+
+#include <memory>
+
+#include "flow/pass.hpp"
+
+namespace gnnmls::dft {
+
+class DftPass : public flow::Pass {
+ public:
+  const char* name() const override { return "dft"; }
+  std::vector<core::Stage> reads() const override { return {core::Stage::kRoutes}; }
+  std::vector<core::Stage> writes() const override {
+    return {core::Stage::kTest, core::Stage::kRoutes, core::Stage::kPlacement};
+  }
+  bool needs_run(const core::DesignDB& db) const override {
+    return !db.fresh(core::Stage::kTest);
+  }
+  void run(flow::PassContext& ctx) override;
+};
+
+std::unique_ptr<flow::Pass> make_dft_pass();
+
+}  // namespace gnnmls::dft

@@ -1,0 +1,51 @@
+#include "flow/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace gnnmls::flow {
+
+Executor::Executor(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+int Executor::threads_from_env() {
+  const char* env = std::getenv("GNNMLS_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const int n = std::atoi(env);
+  if (n < 1) return 1;
+  return n > 64 ? 64 : n;
+}
+
+void Executor::run(const std::vector<std::function<void()>>& tasks) const {
+  if (tasks.empty()) return;
+  if (threads_ == 1 || tasks.size() == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  std::vector<std::exception_ptr> errors(tasks.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  const std::size_t nthreads =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), tasks.size());
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads - 1);
+  for (std::size_t t = 1; t < nthreads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread pulls tasks too
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace gnnmls::flow

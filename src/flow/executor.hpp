@@ -1,0 +1,39 @@
+// Executor: a small deterministic task runner for one pass wave.
+//
+// The PassManager hands it the batch of passes that may run concurrently;
+// the executor runs them on up to `threads` std::threads and blocks until
+// every task finished. Tasks must be mutually independent (the manager's
+// conflict edges guarantee it), so the only scheduling freedom is which
+// thread picks which task — results are bit-identical to a serial run by
+// construction, and the serial path (threads == 1, the default when
+// GNNMLS_THREADS is unset) runs the tasks inline in submission order so
+// span nesting and exception propagation behave exactly as before the
+// pass-manager refactor.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace gnnmls::flow {
+
+class Executor {
+ public:
+  // threads < 1 is clamped to 1 (inline execution).
+  explicit Executor(int threads);
+
+  int threads() const { return threads_; }
+
+  // GNNMLS_THREADS, clamped to [1, 64]; 1 when unset or unparsable.
+  static int threads_from_env();
+
+  // Runs every task and returns when all are done. If any task threw, the
+  // exception of the lowest-indexed failing task is rethrown (deterministic
+  // regardless of thread interleaving); the remaining tasks still run to
+  // completion first, so no task is half-abandoned.
+  void run(const std::vector<std::function<void()>>& tasks) const;
+
+ private:
+  int threads_ = 1;
+};
+
+}  // namespace gnnmls::flow

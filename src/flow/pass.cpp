@@ -1,0 +1,15 @@
+#include "flow/pass.hpp"
+
+namespace gnnmls::flow {
+
+Pass::~Pass() = default;
+
+bool Pass::needs_run(const core::DesignDB& db) const {
+  const std::vector<core::Stage> w = writes();
+  if (w.empty()) return true;  // manager's fingerprint ledger decides
+  for (const core::Stage s : w)
+    if (!db.fresh(s)) return true;
+  return false;
+}
+
+}  // namespace gnnmls::flow

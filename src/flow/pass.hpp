@@ -1,0 +1,70 @@
+// Pass: one flow stage as a schedulable unit.
+//
+// A Pass declares which DesignDB stages it reads and writes; the PassManager
+// derives ordering edges from those sets (writer before reader, conflicting
+// writers in pipeline order), skips passes whose outputs are already fresh
+// under the DB's revision tags, and runs independent passes concurrently on
+// the Executor. Pass bodies therefore contain only the stage work itself —
+// no hand-threaded ordering, timing, or staleness logic.
+//
+// Contract for run():
+//   * read flow state only through ctx.db (plus ctx.config);
+//   * commit every declared write stage before returning, and store the
+//     stage's result artifact in the DB so a later skipped run can still
+//     assemble FlowMetrics from cache;
+//   * time yourself with one obs::Span and add its seconds to your
+//     FlowMetrics stage field (ctx.metrics);
+//   * touch only your own DB artifacts and metrics fields — passes in the
+//     same wave run on different threads with no locks between them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design_db.hpp"
+#include "dft/dft_mls.hpp"
+#include "flow/types.hpp"
+
+namespace gnnmls::flow {
+
+// Everything a pass may look at while running. The referenced objects
+// outlive the run; metrics fields are disjoint per pass, so concurrent
+// passes never write the same member.
+struct PassContext {
+  core::DesignDB& db;
+  const FlowConfig& config;
+  FlowMetrics& metrics;
+  // DFT-pipeline inputs/outputs (used by the "dft" pass only).
+  dft::MlsDftStyle dft_style = dft::MlsDftStyle::kWireBased;
+  std::size_t scan_flops = 0;  // filled by the dft pass
+  std::size_t dft_cells = 0;   // filled by the dft pass
+};
+
+class Pass {
+ public:
+  virtual ~Pass();
+
+  virtual const char* name() const = 0;
+  // DesignDB stages this pass consumes / produces. The sets are the whole
+  // scheduling interface: ordering, skipping, and parallelism all derive
+  // from them (plus needs_run / fingerprint below).
+  virtual std::vector<core::Stage> reads() const = 0;
+  virtual std::vector<core::Stage> writes() const = 0;
+
+  // Should this pass execute against the current DB state? Default: run
+  // when any written stage is not fresh(); pure-read passes (empty writes)
+  // always volunteer and leave the decision to the manager's read-revision
+  // fingerprint ledger. Override when freshness of one specific stage
+  // governs (e.g. the DFT pass keys on kTest alone so its route/placement
+  // side-effect writes cannot re-trigger a second insertion).
+  virtual bool needs_run(const core::DesignDB& db) const;
+
+  // Extra state mixed into the manager's skip fingerprint for pure-read
+  // passes (e.g. the decide pass hashes its engine identity so swapping
+  // engines forces a re-run).
+  virtual std::uint64_t fingerprint() const { return 0; }
+
+  virtual void run(PassContext& ctx) = 0;
+};
+
+}  // namespace gnnmls::flow

@@ -1,0 +1,113 @@
+#include "flow/pass_manager.hpp"
+
+#include <chrono>
+
+#include "flow/executor.hpp"
+#include "util/log.hpp"
+
+namespace gnnmls::flow {
+
+namespace {
+
+bool intersects(const std::vector<core::Stage>& a, const std::vector<core::Stage>& b) {
+  for (const core::Stage x : a)
+    for (const core::Stage y : b)
+      if (x == y) return true;
+  return false;
+}
+
+}  // namespace
+
+bool RunReport::ran(std::string_view name) const { return find(name) != nullptr; }
+
+const PassExecution* RunReport::find(std::string_view name) const {
+  for (const PassExecution& e : executed)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+bool PassManager::conflicts(const Pass& a, const Pass& b) {
+  const std::vector<core::Stage> ar = a.reads(), aw = a.writes();
+  const std::vector<core::Stage> br = b.reads(), bw = b.writes();
+  return intersects(aw, br) ||  // read-after-write
+         intersects(ar, bw) ||  // write-after-read
+         intersects(aw, bw);    // write-after-write
+}
+
+std::uint64_t PassManager::fingerprint_of(const Pass& pass, const core::DesignDB& db) const {
+  // FNV-1a over the read-stage revisions plus the pass's own contribution.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const core::Stage s : pass.reads()) mix(db.revision(s));
+  mix(pass.fingerprint());
+  return h;
+}
+
+bool PassManager::wants_run(const Pass& pass, const core::DesignDB& db) const {
+  if (!pass.needs_run(db)) return false;
+  if (!pass.writes().empty()) return true;
+  // Pure-read pass: run once per distinct view of its inputs.
+  const auto it = ledger_.find(pass.name());
+  return it == ledger_.end() || it->second != fingerprint_of(pass, db);
+}
+
+const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContext& ctx) {
+  report_ = RunReport{};
+  const std::size_t n = pipeline.size();
+  std::vector<char> done(n, 0);
+  const Executor exec(Executor::threads_from_env());
+
+  for (;;) {
+    // Which passes currently want to run? (Freshness changes wave to wave:
+    // a pass that was fresh at entry goes stale once an upstream pass
+    // recommits the stage it reads.)
+    std::vector<char> wants(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      wants[i] = done[i] ? 0 : static_cast<char>(wants_run(*pipeline[i], ctx.db));
+
+    // The wave: every wanting pass with no wanting conflicting predecessor.
+    std::vector<std::size_t> wave;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!wants[i]) continue;
+      bool blocked = false;
+      for (std::size_t j = 0; j < i && !blocked; ++j)
+        blocked = wants[j] && conflicts(*pipeline[j], *pipeline[i]);
+      if (!blocked) wave.push_back(i);
+    }
+    if (wave.empty()) break;
+
+    std::vector<double> seconds(wave.size(), 0.0);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(wave.size());
+    for (std::size_t k = 0; k < wave.size(); ++k) {
+      Pass* pass = pipeline[wave[k]];
+      tasks.push_back([pass, &ctx, &seconds, k] {
+        const auto t0 = std::chrono::steady_clock::now();
+        pass->run(ctx);
+        seconds[k] = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      });
+    }
+    exec.run(tasks);  // rethrows the first failing task after the wave drains
+
+    for (std::size_t k = 0; k < wave.size(); ++k) {
+      const std::size_t i = wave[k];
+      done[i] = 1;
+      ledger_[pipeline[i]->name()] = fingerprint_of(*pipeline[i], ctx.db);
+      report_.executed.push_back(PassExecution{pipeline[i]->name(), seconds[k], report_.waves});
+      util::log_debug("flow: pass ", pipeline[i]->name(), " ran in wave ", report_.waves,
+                      " (", seconds[k] * 1e3, " ms)");
+    }
+    ++report_.waves;
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (!done[i]) report_.skipped.push_back(pipeline[i]->name());
+  return report_;
+}
+
+}  // namespace gnnmls::flow

@@ -1,0 +1,67 @@
+// PassManager: revision-aware wave scheduler over a pass pipeline.
+//
+// Given a pipeline (a vector of passes in canonical order), the manager
+// derives dependency edges from the declared read/write sets — for i < j,
+// pass j depends on pass i when they conflict on any stage (read-after-
+// write, write-after-read, or write-after-write), so conflicting passes
+// serialize in pipeline order and non-conflicting ones parallelize — then
+// repeatedly dispatches "waves": every pass that currently wants to run and
+// has no unfinished conflicting predecessor goes into the wave, the wave
+// runs concurrently on the Executor, and freshness is re-evaluated. A pass
+// wants to run when its written stages are stale under the DesignDB's
+// revision tags (Pass::needs_run); pure-read passes are skipped when the
+// revisions of everything they read match the ledger entry from their last
+// execution. A re-run on an unmutated DB therefore schedules zero passes,
+// and after a local mutation only the dependent suffix re-executes — the
+// incremental-ECO story is the scheduler's default behavior, not a special
+// code path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/pass.hpp"
+
+namespace gnnmls::flow {
+
+struct PassExecution {
+  std::string name;
+  double seconds = 0.0;
+  std::size_t wave = 0;  // 0-based dispatch wave
+};
+
+struct RunReport {
+  std::vector<PassExecution> executed;  // dispatch order (wave-major)
+  std::vector<std::string> skipped;     // pipeline order
+  std::size_t waves = 0;
+
+  bool ran(std::string_view name) const;
+  const PassExecution* find(std::string_view name) const;
+};
+
+class PassManager {
+ public:
+  // Schedules and runs the pipeline against ctx.db. Returns the report for
+  // this invocation (also retained as last_report()). Exceptions from pass
+  // bodies propagate after the wave drains. The fingerprint ledger for
+  // pure-read passes persists across invocations, keyed by pass name.
+  const RunReport& run(const std::vector<Pass*>& pipeline, PassContext& ctx);
+
+  const RunReport& last_report() const { return report_; }
+
+  // True when passes a (earlier in the pipeline) and b (later) touch a
+  // common stage in a way that forces their order. Exposed for tests.
+  static bool conflicts(const Pass& a, const Pass& b);
+
+ private:
+  std::uint64_t fingerprint_of(const Pass& pass, const core::DesignDB& db) const;
+  bool wants_run(const Pass& pass, const core::DesignDB& db) const;
+
+  std::map<std::string, std::uint64_t, std::less<>> ledger_;
+  RunReport report_;
+};
+
+}  // namespace gnnmls::flow

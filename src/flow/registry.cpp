@@ -1,0 +1,43 @@
+#include "flow/registry.hpp"
+
+#include <algorithm>
+
+namespace gnnmls::flow {
+
+PassRegistry& PassRegistry::instance() {
+  static PassRegistry registry;
+  return registry;
+}
+
+void PassRegistry::add(int order, std::string name, Factory factory) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.order = order;
+      e.factory = factory;
+      return;
+    }
+  }
+  entries_.push_back(Entry{order, std::move(name), factory});
+}
+
+std::vector<std::string> PassRegistry::names() const {
+  std::vector<Entry> sorted = entries_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Entry& a, const Entry& b) { return a.order < b.order; });
+  std::vector<std::string> out;
+  out.reserve(sorted.size());
+  for (const Entry& e : sorted) out.push_back(e.name);
+  return out;
+}
+
+std::unique_ptr<Pass> PassRegistry::make(std::string_view name) const {
+  for (const Entry& e : entries_)
+    if (e.name == name) return e.factory();
+  return nullptr;
+}
+
+PassRegistrar::PassRegistrar(int order, const char* name, PassRegistry::Factory factory) {
+  PassRegistry::instance().add(order, name, factory);
+}
+
+}  // namespace gnnmls::flow

@@ -1,0 +1,48 @@
+// PassRegistry: the named catalogue of flow passes.
+//
+// Each pass translation unit registers a factory with an explicit order key
+// (static PassRegistrar at namespace scope), so names() always yields the
+// canonical pipeline order — route, dft, sta, power, pdn, check, decide —
+// regardless of static-init order across TUs. The registry backs
+// gnnmls_lint --list-passes / --only and DesignFlow::run_passes; the
+// standard pipelines reference the factories directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/pass.hpp"
+
+namespace gnnmls::flow {
+
+class PassRegistry {
+ public:
+  using Factory = std::unique_ptr<Pass> (*)();
+
+  static PassRegistry& instance();
+
+  // Lower `order` sorts earlier in names(). Registering a duplicate name
+  // replaces the old entry (last writer wins; tests use this for stubs).
+  void add(int order, std::string name, Factory factory);
+
+  // Registered names in canonical (order-key) order.
+  std::vector<std::string> names() const;
+  // Null when the name is unknown.
+  std::unique_ptr<Pass> make(std::string_view name) const;
+
+ private:
+  struct Entry {
+    int order = 0;
+    std::string name;
+    Factory factory = nullptr;
+  };
+  std::vector<Entry> entries_;
+};
+
+struct PassRegistrar {
+  PassRegistrar(int order, const char* name, PassRegistry::Factory factory);
+};
+
+}  // namespace gnnmls::flow

@@ -1,0 +1,28 @@
+#include "mls/decide_pass.hpp"
+
+#include <stdexcept>
+
+#include "flow/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace gnnmls::mls {
+
+void DecidePass::run(flow::PassContext& ctx) {
+  if (engine_ == nullptr)
+    throw std::logic_error(
+        "decide pass: no engine configured (DesignFlow::evaluate_gnn wires one up)");
+  obs::Span span("flow.decide");
+  core::DesignDB& db = ctx.db;
+  flags_ = engine_->decide(db.design(), db.tech(), db.router(ctx.config.router), db.timing(),
+                           corpus_);
+  span.end();
+  ctx.metrics.decide_s += span.seconds();
+}
+
+std::unique_ptr<flow::Pass> make_decide_pass() { return std::make_unique<DecidePass>(); }
+
+namespace {
+const flow::PassRegistrar reg(70, "decide", &make_decide_pass);
+}  // namespace
+
+}  // namespace gnnmls::mls

@@ -1,7 +1,9 @@
 #include "mls/flow.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "flow/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -51,83 +53,36 @@ DesignFlow::DesignFlow(netlist::Design design, const FlowConfig& config)
                  " buffers");
 }
 
-check::Report DesignFlow::run_checks() const {
-  // The snapshot is assembled from the DesignDB's artifacts; a timing graph
-  // the netlist has moved past is withheld (it indexes a stale pin space),
-  // while stale routes are handed over on purpose — RT-005's revision
-  // comparison exists to catch exactly that.
-  check::Snapshot snapshot;
-  snapshot.design = &db_.design();
-  snapshot.tech = &tech_;
-  snapshot.router = db_.router_if_built();
-  snapshot.sta = db_.timing_if_fresh();
-  snapshot.pdn = db_.pdn();
-  snapshot.mls_flags = &db_.mls_flags();
-  snapshot.test_model = db_.test_model();
-  snapshot.options = config_.checks;
-  snapshot.options.ir_budget_pct = config_.pdn.ir_budget_pct;
-  return check::CheckRegistry::with_default_passes().run(snapshot);
+std::vector<flow::Pass*> DesignFlow::pipeline(bool with_dft) {
+  std::vector<flow::Pass*> passes;
+  passes.push_back(&route_pass_);
+  if (with_dft) passes.push_back(&dft_pass_);
+  passes.push_back(&sta_pass_);
+  passes.push_back(&power_pass_);
+  if (config_.run_pdn) passes.push_back(&pdn_pass_);
+  if (config_.strict_checks) passes.push_back(&check_pass_);
+  return passes;
 }
 
-FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy) {
-  obs::Span root("flow.evaluate");
-  StagePrefix prefix;
-  db_.set_mls_flags(flags);
-  route::RouteSummary rs;
-  {
-    obs::Span span("flow.route");
-    rs = db_.router(config_.router).route_all(flags);
-    db_.commit(core::Stage::kRoutes);
-    prefix.route_s = span.seconds();
+void DesignFlow::fill_metrics(FlowMetrics& m) const {
+  m.design = db_.design().info.name;
+  if (const route::RouteSummary* rs = db_.route_summary()) {
+    m.wl_m = rs->total_wl_m;
+    m.mls_nets = rs->mls_nets;
+    m.f2f_vias = rs->f2f_pairs;
+    m.overflow_gcells = rs->census.overflow_gcells;
   }
-  return finish_evaluate(root, prefix, strategy, rs);
-}
-
-FlowMetrics DesignFlow::finish_evaluate(const obs::Span& root, const StagePrefix& prefix,
-                                        Strategy strategy, const route::RouteSummary& rs) {
-  const netlist::Design& design = db_.design();
-  route::Router& router = db_.router(config_.router);
-  FlowMetrics m;
-  m.route_s = prefix.route_s;
-  m.dft_s = prefix.dft_s;
-  sta::StaResult sr;
-  {
-    obs::Span span("flow.sta");
-    // timing() rebuilds the graph when the netlist revision moved since the
-    // last build — the full-rebuild fallback of the incremental ECO story.
-    sta::TimingGraph& sta_graph = db_.timing();
-    sr = sta_graph.run(design.info.clock_ps, config_.clock_uncertainty_ps);
-    db_.commit(core::Stage::kTiming);
-    m.sta_s = span.seconds();
+  if (const sta::StaResult* sr = db_.sta_result()) {
+    m.wns_ps = sr->wns_ps;
+    m.tns_ns = sr->tns_ns;
+    m.violating = sr->violating_endpoints;
+    m.endpoints = sr->endpoints;
+    m.eff_freq_mhz = sr->effective_freq_mhz;
   }
-  pdn::PowerReport pr;
-  {
-    obs::Span span("flow.power");
-    pr = pdn::estimate_power(design, tech_, router.routes(), config_.power);
-    db_.set_power(pr);
-    db_.commit(core::Stage::kPower);
-    m.power_s = span.seconds();
+  if (const std::optional<pdn::PowerReport>& pr = db_.power()) {
+    m.power_mw = pr->total_mw;
+    m.ls_power_mw = pr->ls_mw;
   }
-  if (config_.run_pdn) {
-    obs::Span span("flow.pdn");
-    db_.set_pdn(pdn::synthesize_pdn(design, tech_, router.routes(), config_.pdn));
-    db_.commit(core::Stage::kPdn);
-    m.pdn_s = span.seconds();
-  }
-
-  m.design = design.info.name;
-  m.strategy = to_string(strategy);
-  m.wl_m = rs.total_wl_m;
-  m.wns_ps = sr.wns_ps;
-  m.tns_ns = sr.tns_ns;
-  m.violating = sr.violating_endpoints;
-  m.endpoints = sr.endpoints;
-  m.mls_nets = rs.mls_nets;
-  m.f2f_vias = rs.f2f_pairs;
-  m.power_mw = pr.total_mw;
-  m.ls_power_mw = pr.ls_mw;
-  m.eff_freq_mhz = sr.effective_freq_mhz;
-  m.overflow_gcells = rs.census.overflow_gcells;
   if (const pdn::PdnDesign* p = db_.pdn()) {
     m.ir_drop_pct = p->worst_ir_pct;
     m.pdn_width_um = p->strap_width_um[1];
@@ -136,22 +91,19 @@ FlowMetrics DesignFlow::finish_evaluate(const obs::Span& root, const StagePrefix
   }
   util::log_info("flow[", m.design, "/", m.strategy, "]: WNS ", m.wns_ps, " ps, TNS ",
                  m.tns_ns, " ns, vio ", m.violating, ", MLS nets ", m.mls_nets);
-  if (config_.strict_checks) {
-    obs::Span span("flow.checks");
-    const check::Report report = run_checks();
-    m.check_s = span.seconds();
-    if (!report.clean()) {
-      util::log_error("flow[", m.design, "/", m.strategy, "]: strict checks failed\n",
-                      report.render());
-      throw std::runtime_error("design-integrity checks failed at stage boundary (" +
-                               m.strategy + "): " + std::to_string(report.errors()) +
-                               " error(s)");
-    }
-    util::log_debug("flow[", m.design, "/", m.strategy, "]: checks clean (",
-                    report.warnings(), " warning(s))");
-  }
-  // One clock, one tree: the whole-evaluate wall time is the caller's root
-  // span, of which every stage above is a child.
+}
+
+FlowMetrics DesignFlow::evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy) {
+  obs::Span root("flow.evaluate");
+  db_.set_mls_flags(flags);
+  FlowMetrics m;
+  m.strategy = to_string(strategy);
+  flow::PassContext ctx{db_, config_, m};
+  pm_.run(pipeline(/*with_dft=*/false), ctx);
+  fill_metrics(m);
+  // One clock, one tree: the whole-evaluate wall time is the root span, of
+  // which every executed pass's span is a child. A zero-pass re-run costs
+  // only the scheduling walk.
   m.runtime_s = root.seconds();
   return m;
 }
@@ -160,20 +112,17 @@ FlowMetrics DesignFlow::evaluate_gnn(GnnMlsEngine& engine, const CorpusOptions& 
   // Decisions are made against the no-MLS baseline state (the paper's flow
   // runs inference at the routing stage, before sharing is applied).
   evaluate_no_mls();
-  // The decision stage is part of the strategy's cost: time it and fold it
-  // into the reported row, so the "Ours" runtime column is honest.
-  std::vector<std::uint8_t> flags;
-  double decide_s = 0.0;
-  {
-    obs::Span span("flow.decide");
-    flags = engine.decide(db_.design(), tech_, db_.router(config_.router), db_.timing(),
-                          corpus_opts);
-    span.end();
-    decide_s = span.seconds();
-  }
-  FlowMetrics m = evaluate(flags, Strategy::kGnn);
-  m.decide_s = decide_s;
-  m.runtime_s += decide_s;
+  // The decision stage is part of the strategy's cost: it runs as a
+  // pure-read pass (skipped when the same engine already decided against
+  // this exact baseline) and its seconds fold into the reported row, so the
+  // "Ours" runtime column is honest.
+  decide_pass_.configure(&engine, corpus_opts);
+  FlowMetrics decide_metrics;
+  flow::PassContext decide_ctx{db_, config_, decide_metrics};
+  pm_.run({&decide_pass_}, decide_ctx);
+  FlowMetrics m = evaluate(decide_pass_.flags(), Strategy::kGnn);
+  m.decide_s = decide_metrics.decide_s;
+  m.runtime_s += decide_metrics.decide_s;
   return m;
 }
 
@@ -185,71 +134,61 @@ Corpus DesignFlow::corpus(const CorpusOptions& options, int design_tag) const {
   return build_corpus(db_.design(), tech_, *router, *sta_graph, design_tag, options);
 }
 
+FlowMetrics DesignFlow::run_passes(const std::vector<std::string>& names,
+                                   const std::vector<std::uint8_t>& flags,
+                                   Strategy strategy) {
+  const flow::PassRegistry& registry = flow::PassRegistry::instance();
+  for (const std::string& name : names)
+    if (!registry.make(name)) throw std::invalid_argument("unknown flow pass: " + name);
+  // Instantiate in canonical registry order regardless of the order given.
+  std::vector<std::unique_ptr<flow::Pass>> owned;
+  for (const std::string& name : registry.names())
+    if (std::find(names.begin(), names.end(), name) != names.end())
+      owned.push_back(registry.make(name));
+  std::vector<flow::Pass*> passes;
+  for (const std::unique_ptr<flow::Pass>& p : owned) passes.push_back(p.get());
+
+  obs::Span root("flow.evaluate");
+  db_.set_mls_flags(flags);
+  FlowMetrics m;
+  m.strategy = to_string(strategy);
+  flow::PassContext ctx{db_, config_, m};
+  pm_.run(passes, ctx);
+  fill_metrics(m);
+  m.runtime_s = root.seconds();
+  return m;
+}
+
 DesignFlow::DftMetrics DesignFlow::evaluate_with_dft(const std::vector<std::uint8_t>& flags,
                                                      Strategy strategy,
                                                      dft::MlsDftStyle style) {
   DftMetrics out;
   obs::Span root("flow.evaluate_with_dft");
-  StagePrefix prefix;
   // Route ONCE with the MLS decisions so the DFT pass can see which nets
-  // actually used shared layers (insertion is post-routing, Figure 4). The
-  // insertion then dirties only the nets it cuts; there is no second full
-  // route_all.
+  // actually used shared layers (insertion is post-routing, Figure 4); the
+  // dft pass then dirties only the nets it cuts and owns the ECO repair —
+  // there is no second full route_all.
   db_.set_mls_flags(flags);
-  route::Router& router = db_.router(config_.router);
-  {
-    obs::Span span("flow.route");
-    router.route_all(flags);
-    db_.commit(core::Stage::kRoutes);
-    prefix.route_s = span.seconds();
-  }
-
-  // DFT insertion mutates the netlist; the mutation-journal delta is the
-  // dirty-net set for the ECO.
-  netlist::Netlist& nl = db_.design().nl;
-  dft::MlsDftReport dft_report;
-  {
-    obs::Span span("flow.dft.insert");
-    const std::size_t mark = db_.journal_mark();
-    const dft::ScanReport scan = dft::insert_full_scan(nl);
-    out.scan_flops = scan.flops_replaced;
-    dft_report = dft::insert_mls_dft(nl, router.routes(), style);
-    out.dft_cells = dft_report.cells_added;
-    // Post-routing ECO (paper Section III-D: "Post-routing ECO adjustments
-    // ensure that the timing impact of these solutions remains minimal"):
-    // re-buffer the nets the DFT cells now drive.
-    netlist::insert_repeaters_only(nl, config_.buffering.max_unbuffered_um);
-    // From here on the checker audits the DFT pass too (finish_evaluate runs
-    // it in strict mode, and run_checks() picks it up for callers).
-    db_.set_test_model(dft_report.test_model);
-    db_.commit(core::Stage::kTest);
-    // The insertion passes place their own cells; declare placement updated
-    // rather than re-running the placer over the whole design.
-    db_.commit(core::Stage::kPlacement);
-    db_.touch_journal_since(mark);
-    prefix.dft_s = span.seconds();
-  }
-
-  // Incremental ECO: rip up and re-route only the touched nets (nets added
-  // since the last route are implicitly dirty); the surviving grid state is
-  // kept. The netlist revision moved, so finish_evaluate's timing() takes
-  // the full-rebuild fallback for the graph.
-  route::RouteSummary rs;
-  {
-    obs::Span span("flow.route.eco");
-    const std::vector<netlist::Id> dirty = db_.take_dirty_nets();
-    rs = router.reroute_nets(dirty, flags, route::RerouteMode::kEco);
-    db_.commit(core::Stage::kRoutes);
-    prefix.route_s += span.seconds();
-  }
-  out.flow = finish_evaluate(root, prefix, strategy, rs);
+  FlowMetrics m;
+  m.strategy = to_string(strategy);
+  flow::PassContext ctx{db_, config_, m};
+  ctx.dft_style = style;
+  pm_.run(pipeline(/*with_dft=*/true), ctx);
+  out.scan_flops = ctx.scan_flops;
+  out.dft_cells = ctx.dft_cells;
+  fill_metrics(m);
+  m.runtime_s = root.seconds();
+  out.flow = m;
   root.end();
 
   // Pre-bond fault simulation is reported separately from runtime_s (the
   // paper's runtime columns stop at the ECO'd flow), but still traced.
+  const dft::TestModel* test_model = db_.test_model();
+  if (test_model == nullptr)
+    throw std::logic_error("evaluate_with_dft: no test model after the dft pass");
   obs::Span sim_span("flow.dft.faultsim");
   dft::FaultSimOptions fopt;
-  dft::FaultSimulator sim(nl, dft_report.test_model, fopt);
+  dft::FaultSimulator sim(db_.design().nl, *test_model, fopt);
   const dft::FaultSimResult fr = sim.run();
   sim_span.end();
   out.total_faults = fr.total_faults;

@@ -7,25 +7,32 @@
 //   kNone  - sequential-2D stacking, no sharing (baseline);
 //   kSota  - wirelength-heuristic sharing (reference [9]);
 //   kGnn   - GNN-MLS decisions from a trained engine.
-// evaluate() re-routes from a clean grid each time so strategies see
-// identical starting conditions.
+// evaluate() hands a declarative pass pipeline to the flow::PassManager:
+// passes whose DesignDB stages are still fresh are skipped outright (a
+// re-run on an unmutated design schedules zero passes and reports from the
+// stage caches), stale stages are repaired incrementally (flag flips replay
+// bit-exactly; netlist ECOs rip up only the dirty nets), and independent
+// passes run concurrently under GNNMLS_THREADS. Strategies still see
+// identical starting conditions because the suffix replay is bit-exact with
+// a from-scratch route under the new flags.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
+#include <vector>
 
-#include "check/registry.hpp"
+#include "check/check_pass.hpp"
 #include "core/design_db.hpp"
-#include "dft/dft_mls.hpp"
+#include "dft/dft_pass.hpp"
 #include "dft/scan.hpp"
 #include "floorplan/tier.hpp"
+#include "flow/pass_manager.hpp"
+#include "flow/types.hpp"
+#include "mls/decide_pass.hpp"
 #include "mls/gnnmls.hpp"
-#include "mls/sota.hpp"
-#include "netlist/buffering.hpp"
-#include "obs/trace.hpp"
-#include "pdn/pdn.hpp"
-#include "place/placer.hpp"
+#include "pdn/pdn_passes.hpp"
+#include "route/route_pass.hpp"
+#include "sta/sta_pass.hpp"
 
 namespace gnnmls::mls {
 
@@ -33,69 +40,18 @@ enum class Strategy { kNone, kSota, kGnn };
 
 std::string to_string(Strategy s);
 
-struct FlowConfig {
-  bool heterogeneous = true;
-  double clock_uncertainty_ps = 40.0;
-  route::RouterOptions router;
-  netlist::BufferingOptions buffering;
-  place::PlacerOptions placer;
-  pdn::PdnOptions pdn;
-  pdn::PowerOptions power;
-  SotaOptions sota;
-  bool run_pdn = true;  // PDN synthesis + IR analysis (Tables IV, Fig 9)
-  // Run the design-integrity checker (src/check/) at every evaluate()
-  // boundary and fail fast (throw) on error-severity diagnostics. Off by
-  // default: benches measure the flow, not the auditor.
-  bool strict_checks = false;
-  check::CheckOptions checks;
-};
-
-// One row of the paper's PPA tables.
-struct FlowMetrics {
-  std::string design;
-  std::string strategy;
-  double wl_m = 0.0;
-  double wns_ps = 0.0;
-  double tns_ns = 0.0;
-  std::size_t violating = 0;
-  std::size_t endpoints = 0;
-  std::size_t mls_nets = 0;
-  std::size_t f2f_vias = 0;
-  double power_mw = 0.0;
-  double ls_power_mw = 0.0;
-  double ir_drop_pct = 0.0;
-  double eff_freq_mhz = 0.0;
-  double pdn_width_um = 0.0;   // top-layer strap width (memory die)
-  double pdn_pitch_um = 0.0;
-  double pdn_util = 0.0;
-  double runtime_s = 0.0;      // flow wall-clock: routing + STA (+ PDN), and
-                               // for the GNN strategy the decision stage too
-  // Span-derived per-stage breakdown of runtime_s (seconds). Each field is
-  // the wall time of exactly one obs::Span, so a stage can be neither
-  // double-counted nor dropped; the stages sum to runtime_s up to the
-  // between-stage glue (test-enforced to within 5%). dft_s covers scan/DFT
-  // insertion in evaluate_with_dft (fault simulation is reported separately
-  // and is not part of runtime_s, matching the paper's runtime columns).
-  double route_s = 0.0;
-  double sta_s = 0.0;
-  double power_s = 0.0;
-  double pdn_s = 0.0;
-  double check_s = 0.0;
-  double decide_s = 0.0;
-  double dft_s = 0.0;
-  // Sum of the stage fields above — the audited part of runtime_s.
-  double stage_sum_s() const {
-    return route_s + sta_s + power_s + pdn_s + check_s + decide_s + dft_s;
-  }
-  std::size_t overflow_gcells = 0;
-};
+// Flow configuration and the PPA metrics row moved to src/flow/types.hpp so
+// the pass layer can consume them; these aliases keep call sites unchanged.
+using FlowConfig = flow::FlowConfig;
+using FlowMetrics = flow::FlowMetrics;
 
 class DesignFlow {
  public:
   DesignFlow(netlist::Design design, const FlowConfig& config);
 
   // Routes with the given per-net flags (empty = no MLS), runs STA + power
-  // (+ PDN), and returns the metrics row.
+  // (+ PDN), and returns the metrics row. Scheduling is revision-aware: only
+  // the passes whose stages went stale since the last evaluate actually run.
   FlowMetrics evaluate(const std::vector<std::uint8_t>& flags, Strategy strategy);
 
   // Convenience wrappers.
@@ -117,22 +73,35 @@ class DesignFlow {
   core::DesignDB& db() { return db_; }
   const core::DesignDB& db() const { return db_; }
 
+  // What the scheduler did on the most recent evaluate / run_passes call:
+  // which passes executed (with per-pass seconds and dispatch wave) and
+  // which were skipped as fresh.
+  const flow::RunReport& last_run_report() const { return pm_.last_report(); }
+
+  // Runs exactly the named registry passes (canonical order, regardless of
+  // the order given) against the current DB state — the engine behind
+  // gnnmls_lint --only. Throws std::invalid_argument on an unknown name.
+  FlowMetrics run_passes(const std::vector<std::string>& names,
+                         const std::vector<std::uint8_t>& flags,
+                         Strategy strategy = Strategy::kNone);
+
   // Builds a (optionally labeled) corpus against the CURRENT routing state;
   // call after evaluate_no_mls() to label against the baseline.
   Corpus corpus(const CorpusOptions& options, int design_tag = 0) const;
 
   // Runs every registered integrity pass (src/check/) over the current flow
   // state: netlist lint always; routing/STA/MLS/PDN/DFT rules once the
-  // corresponding stage has produced state. evaluate() calls this itself
+  // corresponding stage has produced state. The check pass runs this itself
   // when config.strict_checks is set and throws if the report has errors.
-  check::Report run_checks() const;
+  check::Report run_checks() const { return check::run_flow_checks(db_, config_); }
 
   // ---- testable-design evaluation (Tables III and VI) --------------------
   // Routes once with the given flags, inserts full scan plus the chosen MLS
   // DFT style, incrementally re-routes only the nets the insertion touched
   // (RerouteMode::kEco on the DB's dirty set), re-times, and fault-simulates
   // the pre-bond test. MUTATES the design permanently; run it as the flow's
-  // final step.
+  // final step. A second call on an unmutated design skips the insertion
+  // (the test stage is fresh) and just re-simulates.
   struct DftMetrics {
     FlowMetrics flow;
     std::size_t total_faults = 0;
@@ -151,19 +120,12 @@ class DesignFlow {
                                  const tech::Tech3D& tech,
                                  netlist::BufferingReport& buffering,
                                  std::size_t& level_shifters);
-  // Stage seconds accumulated before finish_evaluate takes over (routing,
-  // and for the DFT flow the insertion + ECO repair).
-  struct StagePrefix {
-    double route_s = 0.0;
-    double dft_s = 0.0;
-  };
-  // STA + power (+ PDN) + metrics assembly + strict checks over the routes
-  // currently committed in the DB. Shared by evaluate() and the DFT ECO.
-  // `root` is the caller's whole-evaluate span: runtime_s is read from it,
-  // so every stage timing comes from one span tree instead of ad-hoc
-  // chrono arithmetic.
-  FlowMetrics finish_evaluate(const obs::Span& root, const StagePrefix& prefix,
-                              Strategy strategy, const route::RouteSummary& rs);
+  // The standard evaluate pipeline, optionally with the DFT pass between
+  // routing and analysis. PDN and check membership follow the config.
+  std::vector<flow::Pass*> pipeline(bool with_dft);
+  // Assembles the PPA row from the DB's stage caches (route summary, STA
+  // result, power report, PDN design) — valid even when every pass skipped.
+  void fill_metrics(FlowMetrics& m) const;
 
   FlowConfig config_;
   tech::Tech3D tech_;
@@ -173,6 +135,17 @@ class DesignFlow {
   // PDN, test model, MLS flags), with per-stage revisions; declared after
   // the fields prepare() fills so the member-init order works out.
   core::DesignDB db_;
+  // The pass instances are plain members: they are stateless apart from
+  // DecidePass (engine wiring + cached decision vector), and the manager's
+  // skip ledger lives in pm_ so it persists across evaluates.
+  route::RoutePass route_pass_;
+  dft::DftPass dft_pass_;
+  sta::StaPass sta_pass_;
+  pdn::PowerPass power_pass_;
+  pdn::PdnPass pdn_pass_;
+  check::CheckPass check_pass_;
+  DecidePass decide_pass_;
+  flow::PassManager pm_;
 };
 
 // Trains one engine the way the paper does (Section II-B): pooled unlabeled

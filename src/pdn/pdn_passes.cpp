@@ -1,0 +1,49 @@
+#include "pdn/pdn_passes.hpp"
+
+#include <stdexcept>
+
+#include "flow/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace gnnmls::pdn {
+
+namespace {
+
+const route::Router& routed(const core::DesignDB& db, const char* who) {
+  const route::Router* router = db.router_if_built();
+  if (router == nullptr)
+    throw std::logic_error(std::string(who) + " pass needs routes; run the route pass first");
+  return *router;
+}
+
+}  // namespace
+
+void PowerPass::run(flow::PassContext& ctx) {
+  obs::Span span("flow.power");
+  core::DesignDB& db = ctx.db;
+  const route::Router& router = routed(db, "power");
+  const PowerReport pr =
+      estimate_power(db.design(), db.tech(), router.routes(), ctx.config.power);
+  db.set_power(pr);
+  db.commit(core::Stage::kPower);
+  ctx.metrics.power_s += span.seconds();
+}
+
+void PdnPass::run(flow::PassContext& ctx) {
+  obs::Span span("flow.pdn");
+  core::DesignDB& db = ctx.db;
+  const route::Router& router = routed(db, "pdn");
+  db.set_pdn(synthesize_pdn(db.design(), db.tech(), router.routes(), ctx.config.pdn));
+  db.commit(core::Stage::kPdn);
+  ctx.metrics.pdn_s += span.seconds();
+}
+
+std::unique_ptr<flow::Pass> make_power_pass() { return std::make_unique<PowerPass>(); }
+std::unique_ptr<flow::Pass> make_pdn_pass() { return std::make_unique<PdnPass>(); }
+
+namespace {
+const flow::PassRegistrar reg_power(40, "power", &make_power_pass);
+const flow::PassRegistrar reg_pdn(50, "pdn", &make_pdn_pass);
+}  // namespace
+
+}  // namespace gnnmls::pdn

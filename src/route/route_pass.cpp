@@ -1,0 +1,49 @@
+#include "route/route_pass.hpp"
+
+#include "flow/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace gnnmls::route {
+
+void RoutePass::run(flow::PassContext& ctx) {
+  obs::Span span("flow.route");
+  core::DesignDB& db = ctx.db;
+  // Pull any unconsumed netlist mutations into the dirty set (and re-declare
+  // placement, which the mutators maintain themselves) before dispatching.
+  db.absorb_journal();
+  Router& router = db.router(ctx.config.router);
+  const std::vector<std::uint8_t>& flags = db.mls_flags();
+
+  RouteSummary rs;
+  bool incremental = false;
+  if (router.routed_revision() == 0) {
+    rs = router.route_all(flags);
+  } else if (db.design().nl.revision() != router.routed_revision()) {
+    // The netlist moved (ECO): minimal rip-up of the dirty nets, keeping the
+    // surviving grid state. Nets added since the last route are implicitly
+    // dirty inside reroute_nets.
+    const std::vector<netlist::Id> dirty = db.take_dirty_nets();
+    rs = router.reroute_nets(dirty, flags, RerouteMode::kEco);
+    incremental = true;
+  } else if (db.dirty()) {
+    // Same netlist, local changes (flag flips, touched pins): suffix replay,
+    // bit-exact with a from-scratch route_all under the new flags.
+    const std::vector<netlist::Id> dirty = db.take_dirty_nets();
+    rs = router.reroute_nets(dirty, flags, RerouteMode::kReplay);
+    incremental = true;
+  } else {
+    // Stage invalidated outright with nothing dirty: route from scratch.
+    rs = router.route_all(flags);
+  }
+  db.set_route_summary(rs, incremental);
+  db.commit(core::Stage::kRoutes);
+  ctx.metrics.route_s += span.seconds();
+}
+
+std::unique_ptr<flow::Pass> make_route_pass() { return std::make_unique<RoutePass>(); }
+
+namespace {
+const flow::PassRegistrar reg(10, "route", &make_route_pass);
+}  // namespace
+
+}  // namespace gnnmls::route

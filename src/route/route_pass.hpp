@@ -1,0 +1,28 @@
+// RoutePass: the routing stage as a schedulable flow pass.
+//
+// Reads {netlist, placement}, writes {routes}. The incremental-ECO story
+// lives entirely in run()'s dispatch: a never-routed design gets route_all,
+// a netlist that moved since the last route gets a minimal-rip-up ECO over
+// the dirty set, and a same-netlist change (an MLS flag flip, a touched
+// pin) gets a bit-exact suffix replay. Callers never pick a mode.
+#pragma once
+
+#include <memory>
+
+#include "flow/pass.hpp"
+
+namespace gnnmls::route {
+
+class RoutePass : public flow::Pass {
+ public:
+  const char* name() const override { return "route"; }
+  std::vector<core::Stage> reads() const override {
+    return {core::Stage::kNetlist, core::Stage::kPlacement};
+  }
+  std::vector<core::Stage> writes() const override { return {core::Stage::kRoutes}; }
+  void run(flow::PassContext& ctx) override;
+};
+
+std::unique_ptr<flow::Pass> make_route_pass();
+
+}  // namespace gnnmls::route

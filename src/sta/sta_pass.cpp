@@ -1,0 +1,37 @@
+#include "sta/sta_pass.hpp"
+
+#include "flow/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace gnnmls::sta {
+
+void StaPass::run(flow::PassContext& ctx) {
+  obs::Span span("flow.sta");
+  core::DesignDB& db = ctx.db;
+  const core::DesignDB::RouteDelta& delta = db.route_delta();
+  TimingGraph* graph = db.timing_if_fresh();
+
+  StaResult sr;
+  if (graph != nullptr && graph->clock_ps() > 0.0 && delta.valid) {
+    // Incremental repair: the route pass left the exact changed-net list and
+    // the graph's pin space still matches the netlist. update() is
+    // bit-identical to run() at the last clock.
+    sr = graph->update(delta.changed);
+  } else {
+    // timing() rebuilds the graph when the netlist revision moved since the
+    // last build — the full-rebuild fallback of the incremental ECO story.
+    TimingGraph& g = db.timing();
+    sr = g.run(db.design().info.clock_ps, ctx.config.clock_uncertainty_ps);
+  }
+  db.set_sta_result(sr);  // also consumes the route delta
+  db.commit(core::Stage::kTiming);
+  ctx.metrics.sta_s += span.seconds();
+}
+
+std::unique_ptr<flow::Pass> make_sta_pass() { return std::make_unique<StaPass>(); }
+
+namespace {
+const flow::PassRegistrar reg(30, "sta", &make_sta_pass);
+}  // namespace
+
+}  // namespace gnnmls::sta

@@ -458,6 +458,10 @@ TEST_F(FlowStages, EvaluateWithDftStageBreakdown) {
 TEST_F(FlowStages, FlowPopulatesMetricsRegistry) {
   obs::Metrics& metrics = obs::Metrics::instance();
   metrics.reset();
+  // Force the route pass (and everything downstream) to actually execute:
+  // on an unmutated DB the scheduler would skip every pass and the counters
+  // would stay at zero.
+  flow_->db().invalidate(core::Stage::kRoutes);
   flow_->evaluate_no_mls();
   EXPECT_GT(metrics.counter("route.nets_routed").value(), 0u);
   EXPECT_GT(metrics.counter("route.edges_routed").value(), 0u);

@@ -15,8 +15,10 @@
 #include <cstring>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "check/checks.hpp"
+#include "flow/registry.hpp"
 #include "mls/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +41,9 @@ void usage(std::FILE* to) {
                "  --inject FAULT   corrupt the design first, to demo a rule:\n"
                "                   dangling-pin | multi-driver | dead-cell\n"
                "  --list-rules     print the rule table and exit\n"
+               "  --list-passes    print the flow-pass registry (read/write sets) and exit\n"
+               "  --only=P1,P2     run only the named flow passes (canonical order) instead\n"
+               "                   of the full pipeline; see --list-passes for names\n"
                "  --profile        trace the flow; print the span profile table and\n"
                "                   the metrics ledger after the report\n"
                "  --trace-out F    write a Chrome trace-event JSON (chrome://tracing)\n"
@@ -107,6 +112,38 @@ void list_rules() {
                 r.invariant);
 }
 
+std::string join_stages(const std::vector<core::Stage>& stages) {
+  std::string out;
+  for (const core::Stage s : stages) {
+    if (!out.empty()) out += ",";
+    out += core::to_string(s);
+  }
+  return out.empty() ? "-" : out;
+}
+
+void list_passes() {
+  std::printf("%-8s %-34s %s\n", "pass", "reads", "writes");
+  const flow::PassRegistry& registry = flow::PassRegistry::instance();
+  for (const std::string& name : registry.names()) {
+    const std::unique_ptr<flow::Pass> pass = registry.make(name);
+    std::printf("%-8s %-34s %s\n", name.c_str(), join_stages(pass->reads()).c_str(),
+                join_stages(pass->writes()).c_str());
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(start, comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +151,7 @@ int main(int argc, char** argv) {
   std::string strategy = "none";
   std::string injection;
   std::string trace_out;
+  std::vector<std::string> only;
   std::uint64_t seed = 0;
   bool hetero = true, run_pdn = true, with_dft = false, verbose = false, profile = false;
   obs::init_from_env();  // honor GNNMLS_TRACE before the flow starts
@@ -135,6 +173,9 @@ int main(int argc, char** argv) {
     else if (arg == "--with-dft") with_dft = true;
     else if (arg == "--inject") injection = value();
     else if (arg == "--list-rules") { list_rules(); return 0; }
+    else if (arg == "--list-passes") { list_passes(); return 0; }
+    else if (arg.rfind("--only=", 0) == 0) only = split_csv(arg.substr(7));
+    else if (arg == "--only") only = split_csv(value());
     else if (arg == "--profile") profile = true;
     else if (arg == "--trace-out") trace_out = value();
     else if (arg == "--verbose") verbose = true;
@@ -148,6 +189,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gnnmls_lint: unknown strategy '%s'\n", strategy.c_str());
     return 2;
   }
+  for (const std::string& name : only)
+    if (!flow::PassRegistry::instance().make(name)) {
+      std::fprintf(stderr, "gnnmls_lint: unknown flow pass '%s' (see --list-passes)\n",
+                   name.c_str());
+      return 2;
+    }
 
   util::set_log_level(verbose ? util::LogLevel::kInfo : util::LogLevel::kWarn);
   if (profile || !trace_out.empty()) obs::Tracer::instance().set_enabled(true);
@@ -169,8 +216,11 @@ int main(int argc, char** argv) {
       (strategy == "sota") ? mls::sota_select(flow.design(), config.sota)
                            : std::vector<std::uint8_t>{};
   const mls::Strategy tag = (strategy == "sota") ? mls::Strategy::kSota : mls::Strategy::kNone;
+  bool flow_ok = true;
   try {
-    if (with_dft)
+    if (!only.empty())
+      flow.run_passes(only, flags, tag);
+    else if (with_dft)
       flow.evaluate_with_dft(flags, tag, dft::MlsDftStyle::kWireBased);
     else
       flow.evaluate(flags, tag);
@@ -180,6 +230,24 @@ int main(int argc, char** argv) {
     // so fall through and lint whatever state exists.
     std::fprintf(stderr, "gnnmls_lint: flow aborted: %s -- linting partial state\n",
                  e.what());
+    flow_ok = false;
+  }
+  {
+    const flow::RunReport& first = flow.last_run_report();
+    std::printf("flow schedule: %zu pass(es) in %zu wave(s), %zu skipped\n",
+                first.executed.size(), first.waves, first.skipped.size());
+  }
+
+  // Scheduling probe: a second evaluate on the now-unmutated DB must find
+  // every stage fresh and schedule nothing (ci.sh greps for the 0). Skipped
+  // when the flow aborted — partial state legitimately reschedules.
+  if (flow_ok) {
+    if (!only.empty())
+      flow.run_passes(only, flags, tag);
+    else
+      flow.evaluate(flags, tag);
+    std::printf("reschedule: %zu pass(es) on an unmutated DB\n",
+                flow.last_run_report().executed.size());
   }
 
   // Stage-artifact ledger: which artifacts exist, at which revision, and
