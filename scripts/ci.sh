@@ -27,8 +27,52 @@ echo "==> pass-skip gate: a second evaluate on a clean DB must schedule nothing"
 # reschedule count; anything but 0 means a pass is leaking staleness
 # (forgetting a commit, dirtying state it did not declare).
 grep -q 'reschedule: 0 pass(es) on an unmutated DB' LINT_sota.txt
-rm -f LINT_sota.txt
 echo "pass-skip gate OK"
+
+echo "==> recovery gate: a clean run must not degrade, retry, or roll back"
+# The lint prints one greppable recovery summary; on an unfaulted run every
+# counter must be zero (a nonzero here means the recovery machinery fired on
+# healthy inputs — a policy bug, not resilience).
+grep -q 'recovery: degraded=0 retries=0 rollbacks=0 faults_injected=0 leaked=0' LINT_sota.txt
+rm -f LINT_sota.txt
+echo "recovery gate OK"
+
+echo "==> chaos gate: every injectable fault must recover with zero leaked state"
+# One lint run per CLI-reachable fault site (--list-fault-sites is the
+# catalogue). Each run must (a) actually trip the armed site, (b) exit clean
+# after retry/rollback, and (c) report leaked=0 — the rolled-back DB was
+# fingerprint-identical to its pre-wave self. route.eco / sta.update /
+# decide.infer need a mid-run mutation or a GNN engine the CLI does not
+# stage; tests/test_ft.cpp covers those degradation paths.
+chaos_sweep() {
+  local bin="$1" site out
+  for site in route.net route.commit sta.run power.estimate pdn.synthesize; do
+    out="$("${bin}" --design maeri16 --strategy sota --inject-flow="${site}")" \
+      || { echo "chaos gate FAILED: ${site} did not recover"; echo "${out}"; exit 1; }
+    grep -q 'faults_injected=1' <<<"${out}" \
+      || { echo "chaos gate FAILED: ${site} never tripped"; echo "${out}"; exit 1; }
+    grep -q 'leaked=0' <<<"${out}" \
+      || { echo "chaos gate FAILED: ${site} leaked rollback state"; echo "${out}"; exit 1; }
+    echo "chaos OK: ${site}"
+  done
+  for site in dft.insert dft.eco; do
+    out="$("${bin}" --design maeri16 --strategy sota --with-dft --inject-flow="${site}")" \
+      || { echo "chaos gate FAILED: ${site} did not recover"; echo "${out}"; exit 1; }
+    grep -q 'faults_injected=1' <<<"${out}" \
+      || { echo "chaos gate FAILED: ${site} never tripped"; echo "${out}"; exit 1; }
+    grep -q 'leaked=0' <<<"${out}" \
+      || { echo "chaos gate FAILED: ${site} leaked rollback state"; echo "${out}"; exit 1; }
+    echo "chaos OK: ${site}"
+  done
+  out="$("${bin}" --design maeri16 --strategy sota --inject-flow=check.run --only=route,sta,check)" \
+    || { echo "chaos gate FAILED: check.run did not recover"; echo "${out}"; exit 1; }
+  grep -q 'faults_injected=1' <<<"${out}" \
+    || { echo "chaos gate FAILED: check.run never tripped"; echo "${out}"; exit 1; }
+  grep -q 'leaked=0' <<<"${out}" \
+    || { echo "chaos gate FAILED: check.run leaked rollback state"; echo "${out}"; exit 1; }
+  echo "chaos OK: check.run"
+}
+chaos_sweep ./build/tools/gnnmls_lint
 
 echo "==> perf smoke: incremental-ECO + per-stage microbenchmarks on MAERI-16PE"
 # Exercises the full-route baseline against the incremental paths
@@ -70,6 +114,10 @@ if [[ "${FAST}" == "0" ]]; then
   # halt_on_error makes any UBSan report fail the run instead of logging past it.
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+  echo "==> chaos gate under sanitizers: rollback paths must be ASan/UBSan-clean"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    chaos_sweep ./build-asan/tools/gnnmls_lint
 fi
 
 echo "==> ci.sh: all gates passed"

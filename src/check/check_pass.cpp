@@ -3,8 +3,9 @@
 #include <stdexcept>
 #include <string>
 
-#include "obs/trace.hpp"
 #include "flow/registry.hpp"
+#include "ft/fault_plan.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::check {
@@ -18,6 +19,7 @@ Report run_flow_checks(const core::DesignDB& db, const flow::FlowConfig& config)
   snapshot.pdn = db.pdn();
   snapshot.mls_flags = &db.mls_flags();
   snapshot.test_model = db.test_model();
+  snapshot.db = &db;
   snapshot.options = config.checks;
   snapshot.options.ir_budget_pct = config.pdn.ir_budget_pct;
   return CheckRegistry::with_default_passes().run(snapshot);
@@ -25,6 +27,7 @@ Report run_flow_checks(const core::DesignDB& db, const flow::FlowConfig& config)
 
 void CheckPass::run(flow::PassContext& ctx) {
   obs::Span span("flow.checks");
+  GNNMLS_FAULT_POINT("check.run");
   const Report report = run_flow_checks(ctx.db, ctx.config);
   ctx.metrics.check_s += span.seconds();
   const std::string& design = ctx.db.design().info.name;

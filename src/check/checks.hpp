@@ -58,6 +58,13 @@ void check_feature_agreement(const netlist::Design& design, const tech::Tech3D& 
 void check_dft_coverage(const netlist::Netlist& nl, const dft::TestModel& model,
                         Report& report);
 
+// ---- fault tolerance (FT-001) ---------------------------------------------
+// FT-001: after a recovered (rolled-back / retried / degraded) run, the DB
+// carries no trace of the failure: no stage is mid-write, and every built
+// stage's built_from matches a revision its upstream actually had (never
+// ahead of the upstream's current revision).
+void check_ft_state(const core::DesignDB& db, Report& report);
+
 // ---- PDN / power domains (PDN-001..002) -----------------------------------
 void check_ir_budget(const pdn::PdnDesign& pdn_design, const CheckOptions& options,
                      Report& report);

@@ -1,0 +1,41 @@
+// Fault-tolerance state checks (FT-001).
+//
+// After a recovered run — rollback, retry, or degradation — the DB must
+// carry no trace of the failure. Two observable classes of trace:
+//   * a mid-write marker left set (a pass died between begin_write and
+//     end_write and nothing rolled it back), and
+//   * a stage tag pointing at an upstream revision the upstream never had
+//     or no longer has — the signature of a commit() that survived while
+//     its upstream's rollback rewound, or vice versa.
+#include "check/checks.hpp"
+#include "core/design_db.hpp"
+
+namespace gnnmls::check {
+
+void check_ft_state(const core::DesignDB& db, Report& report) {
+  const RuleInfo& rule = *find_rule("FT-001");
+
+  for (const core::Stage s : db.open_writes())
+    report.add(rule, std::string("stage ") + core::to_string(s),
+               "left mid-write: begin_write without a matching end_write or rollback");
+
+  for (std::size_t i = 0; i < core::kNumStages; ++i) {
+    const auto s = static_cast<core::Stage>(i);
+    if (s == core::Stage::kNetlist || !db.built(s)) continue;
+    const core::Stage up = core::upstream_of(s);
+    const core::StageTag& t = db.tag(s);
+    // Revisions are monotone and never rewound by restore(), so a stage
+    // cannot legally have been built from an upstream revision that is
+    // ahead of the upstream's current one.
+    if (t.built_from > db.revision(up))
+      report.add(rule, std::string("stage ") + core::to_string(s),
+                 "built_from " + std::to_string(t.built_from) + " is ahead of upstream " +
+                     core::to_string(up) + " revision " + std::to_string(db.revision(up)));
+    if (t.revision != 0 && t.built_from == 0)
+      report.add(rule, std::string("stage ") + core::to_string(s),
+                 "committed (revision " + std::to_string(t.revision) +
+                     ") but records no upstream revision");
+  }
+}
+
+}  // namespace gnnmls::check

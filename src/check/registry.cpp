@@ -108,6 +108,14 @@ CheckRegistry CheckRegistry::with_default_passes() {
     check_dft_coverage(s.design->nl, *s.test_model, r);
     r.mark_pass_run("dft");
   });
+  registry.add("ft", [](const Snapshot& s, Report& r) {
+    if (!s.db) {
+      r.mark_pass_skipped("ft", "no design DB");
+      return;
+    }
+    check_ft_state(*s.db, r);
+    r.mark_pass_run("ft");
+  });
   registry.add("pdn", [](const Snapshot& s, Report& r) {
     if (!s.design || !s.tech) {
       r.mark_pass_skipped("pdn", "no design");

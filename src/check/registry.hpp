@@ -26,6 +26,10 @@
 #include "sta/graph.hpp"
 #include "tech/tech.hpp"
 
+namespace gnnmls::core {
+class DesignDB;
+}
+
 namespace gnnmls::check {
 
 struct CheckOptions {
@@ -51,6 +55,10 @@ struct Snapshot {
   // empty: no sharing requested anywhere).
   const std::vector<std::uint8_t>* mls_flags = nullptr;
   const dft::TestModel* test_model = nullptr;  // after insert_mls_dft()
+  // The owning DB, when checking flow state (null for hand-built snapshots).
+  // Enables the "ft" pass: stage-tag consistency and mid-write markers after
+  // a recovered run (FT-001).
+  const core::DesignDB* db = nullptr;
   CheckOptions options;
 };
 

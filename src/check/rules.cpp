@@ -36,6 +36,8 @@ constexpr RuleInfo kRules[] = {
      "every MLS open connection is covered by a DFT MUX or scan-FF at the cut"},
     {"DFT-002", "open-unobserved", Severity::kError,
      "every MLS open net's driver is tapped for scan observation"},
+    {"FT-001", "recovered-state-consistent", Severity::kError,
+     "after a recovered run: no stage is mid-write and every stage tag is mutually consistent"},
     {"PDN-001", "ir-budget", Severity::kError,
      "worst static IR drop stays within the budget (10% of the lowest VDD)"},
     {"PDN-002", "missing-level-shifter", Severity::kError,

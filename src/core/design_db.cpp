@@ -1,6 +1,7 @@
 #include "core/design_db.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -169,6 +170,159 @@ const sta::TimingGraph* DesignDB::timing_if_fresh() const {
 sta::TimingGraph* DesignDB::timing_if_fresh() {
   if (!sta_ || sta_built_at_ != design_.nl.revision()) return nullptr;
   return sta_.get();
+}
+
+namespace {
+
+bool contains(std::span<const Stage> stages, Stage s) {
+  for (const Stage x : stages)
+    if (x == s) return true;
+  return false;
+}
+
+}  // namespace
+
+DesignDB::Snapshot DesignDB::snapshot(std::span<const Stage> stages) const {
+  Snapshot snap;
+  snap.stages.assign(stages.begin(), stages.end());
+  snap.tags = tags_;
+  snap.dirty = dirty_;
+  snap.journal_cursor = journal_cursor_;
+  snap.mls_flags = mls_flags_;
+  // The STA pass CONSUMES the route delta (set_sta_result clears it) while
+  // declaring only kTiming writes, so the delta must ride along with every
+  // snapshot, not just kRoutes ones.
+  snap.route_delta = route_delta_;
+  // DFT insertion mutates the netlist itself (declared via its kPlacement /
+  // kTest writes), so those stages capture the whole design value.
+  if (contains(stages, Stage::kNetlist) || contains(stages, Stage::kPlacement) ||
+      contains(stages, Stage::kTest))
+    snap.design = design_;
+  if (contains(stages, Stage::kRoutes)) {
+    if (router_) snap.router = router_->checkpoint();
+    snap.route_summary = route_summary_;
+  }
+  if (contains(stages, Stage::kTiming)) {
+    snap.sta_result = sta_result_;
+    snap.sta_built_at = sta_built_at_;
+  }
+  if (contains(stages, Stage::kPower)) snap.power = power_;
+  if (contains(stages, Stage::kPdn)) snap.pdn = pdn_;
+  if (contains(stages, Stage::kTest)) snap.test_model = test_model_;
+  return snap;
+}
+
+void DesignDB::restore(const Snapshot& snap) {
+  tags_ = snap.tags;
+  dirty_ = snap.dirty;
+  journal_cursor_ = snap.journal_cursor;
+  mls_flags_ = snap.mls_flags;
+  route_delta_ = snap.route_delta;
+  if (snap.design) design_ = *snap.design;
+  const std::span<const Stage> stages(snap.stages);
+  if (contains(stages, Stage::kRoutes)) {
+    if (router_ && snap.router) router_->restore(*snap.router);
+    route_summary_ = snap.route_summary;
+  }
+  if (contains(stages, Stage::kTiming) || snap.design) {
+    // Drop the derived graph: its value arrays may be mid-update (or its pin
+    // topology may index a restored, smaller netlist). The next STA rebuilds
+    // from the restored routes — deterministically bit-identical.
+    sta_.reset();
+    sta_built_at_ = 0;
+    if (contains(stages, Stage::kTiming)) sta_result_ = snap.sta_result;
+  }
+  if (contains(stages, Stage::kPower)) power_ = snap.power;
+  if (contains(stages, Stage::kPdn)) pdn_ = snap.pdn;
+  if (contains(stages, Stage::kTest)) test_model_ = snap.test_model;
+  // Any marker still set belongs to the rolled-back wave.
+  for (auto& open : write_open_) open.store(0, std::memory_order_relaxed);
+}
+
+void DesignDB::begin_write(Stage s) {
+  write_open_[static_cast<std::size_t>(s)].store(1, std::memory_order_relaxed);
+}
+
+void DesignDB::end_write(Stage s) {
+  write_open_[static_cast<std::size_t>(s)].store(0, std::memory_order_relaxed);
+}
+
+bool DesignDB::write_open(Stage s) const {
+  return write_open_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed) != 0;
+}
+
+std::vector<Stage> DesignDB::open_writes() const {
+  std::vector<Stage> out;
+  for (std::size_t i = 0; i < kNumStages; ++i)
+    if (write_open_[i].load(std::memory_order_relaxed) != 0)
+      out.push_back(static_cast<Stage>(i));
+  return out;
+}
+
+std::uint64_t DesignDB::state_fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_f = [&mix](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(double) == sizeof(bits));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  for (const StageTag& t : tags_) {
+    mix(t.revision);
+    mix(t.built_from);
+  }
+  mix(design_.nl.revision());
+  mix(design_.nl.num_cells());
+  mix(design_.nl.num_nets());
+  mix(design_.nl.num_pins());
+  mix(dirty_.size());
+  for (const netlist::Id n : dirty_) mix(n);
+  mix(journal_cursor_);
+  mix(mls_flags_.size());
+  for (const std::uint8_t f : mls_flags_) mix(f);
+  if (router_) {
+    mix(router_->routed_revision());
+    for (const route::NetRoute& r : router_->routes()) {
+      mix_f(r.wl_um);
+      mix_f(r.res_ohm);
+      mix_f(r.cap_ff);
+      mix(static_cast<std::uint64_t>(r.layers_used[0]) |
+          (static_cast<std::uint64_t>(r.layers_used[1]) << 8) |
+          (static_cast<std::uint64_t>(r.f2f_vias) << 16) |
+          (static_cast<std::uint64_t>(r.mls_applied) << 24));
+    }
+  }
+  if (route_summary_) {
+    mix_f(route_summary_->total_wl_m);
+    mix(route_summary_->mls_nets);
+    mix(route_summary_->f2f_pairs);
+    mix(route_summary_->census.overflow_gcells);
+  }
+  mix(static_cast<std::uint64_t>(route_delta_.valid));
+  for (const netlist::Id n : route_delta_.changed) mix(n);
+  if (sta_result_) {
+    mix_f(sta_result_->wns_ps);
+    mix_f(sta_result_->tns_ns);
+    mix(sta_result_->violating_endpoints);
+    mix(sta_result_->endpoints);
+  }
+  if (power_) {
+    mix_f(power_->total_mw);
+    mix_f(power_->ls_mw);
+  }
+  if (pdn_) {
+    mix_f(pdn_->worst_ir_pct);
+    mix_f(pdn_->utilization[1]);
+  }
+  if (test_model_) mix(1);
+  for (const auto& open : write_open_) mix(open.load(std::memory_order_relaxed));
+  return h;
 }
 
 }  // namespace gnnmls::core

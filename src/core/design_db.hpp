@@ -153,6 +153,51 @@ class DesignDB {
   void set_sta_result(const sta::StaResult& result);
   const sta::StaResult* sta_result() const { return sta_result_ ? &*sta_result_ : nullptr; }
 
+  // ---- transactional stage snapshots (src/ft/) ---------------------------
+  // A Snapshot is a deep copy of the artifacts behind the given stages plus
+  // the full tag array, dirty set, and journal cursor — everything a wave of
+  // passes writing those stages could touch. restore() puts it all back, so
+  // a pass that failed mid-write leaves the DB bit-identical (by
+  // state_fingerprint) to the pre-dispatch state. Timing is the one derived
+  // artifact restored by dropping: the graph's value arrays are a cache of
+  // run(), so a rolled-back STA simply rebuilds (bit-identical results, the
+  // incremental-equivalence tests enforce it) instead of deep-copying the
+  // arrays.
+  struct Snapshot {
+    std::vector<Stage> stages;
+    std::array<StageTag, kNumStages> tags{};
+    std::vector<netlist::Id> dirty;
+    std::size_t journal_cursor = 0;
+    std::vector<std::uint8_t> mls_flags;  // always captured (cheap, any pass may flip)
+    std::optional<netlist::Design> design;          // kNetlist / kPlacement / kTest
+    std::optional<route::Router::Checkpoint> router;  // kRoutes, if built
+    std::optional<route::RouteSummary> route_summary;
+    RouteDelta route_delta;
+    std::optional<sta::StaResult> sta_result;       // kTiming
+    std::uint64_t sta_built_at = 0;
+    std::optional<pdn::PowerReport> power;          // kPower
+    std::optional<pdn::PdnDesign> pdn;              // kPdn
+    std::optional<dft::TestModel> test_model;       // kTest
+  };
+  Snapshot snapshot(std::span<const Stage> stages) const;
+  void restore(const Snapshot& snap);
+
+  // ---- mid-write markers (ft transactions, FT-001) -----------------------
+  // The PassManager brackets each pass's declared write stages; restore()
+  // clears every marker. A marker still set outside a running wave means a
+  // stage was left mid-write — exactly what check rule FT-001 reports.
+  void begin_write(Stage s);
+  void end_write(Stage s);
+  bool write_open(Stage s) const;
+  std::vector<Stage> open_writes() const;
+
+  // Order-sensitive FNV-1a digest of the observable flow state: stage tags,
+  // dirty set, journal cursor, MLS flags, per-net routes, stage result
+  // caches, and open-write markers. Two DBs with equal fingerprints produce
+  // bit-identical downstream results; the crash-consistency property tests
+  // compare pre-wave and post-rollback values.
+  std::uint64_t state_fingerprint() const;
+
  private:
   netlist::Design design_;
   const tech::Tech3D* tech_;
@@ -173,6 +218,9 @@ class DesignDB {
   std::optional<route::RouteSummary> route_summary_;
   RouteDelta route_delta_;
   std::optional<sta::StaResult> sta_result_;
+  // Mid-write markers, one per stage. Atomic because passes in the same wave
+  // bracket their disjoint write stages from different executor threads.
+  std::array<std::atomic<std::uint8_t>, kNumStages> write_open_{};
 };
 
 }  // namespace gnnmls::core

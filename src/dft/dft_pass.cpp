@@ -2,6 +2,7 @@
 
 #include "dft/scan.hpp"
 #include "flow/registry.hpp"
+#include "ft/fault_plan.hpp"
 #include "netlist/buffering.hpp"
 #include "obs/trace.hpp"
 
@@ -19,6 +20,10 @@ void DftPass::run(flow::PassContext& ctx) {
     ctx.scan_flops = scan.flops_replaced;
     dft_report = insert_mls_dft(nl, router.routes(), ctx.dft_style);
     ctx.dft_cells = dft_report.cells_added;
+    // Mid-mutation site: scan flops are swapped and DFT cells inserted, but
+    // the test model is not yet committed — exactly the partial netlist the
+    // transactional rollback has to undo whole.
+    GNNMLS_FAULT_POINT("dft.insert");
     // Post-routing ECO (paper Section III-D: "Post-routing ECO adjustments
     // ensure that the timing impact of these solutions remains minimal"):
     // re-buffer the nets the DFT cells now drive.
@@ -36,6 +41,7 @@ void DftPass::run(flow::PassContext& ctx) {
   // netlist revision moved, so the STA pass takes its full-rebuild path.
   {
     obs::Span span("flow.route.eco");
+    GNNMLS_FAULT_POINT("dft.eco");
     const std::vector<netlist::Id> dirty = db.take_dirty_nets();
     const route::RouteSummary rs =
         router.reroute_nets(dirty, db.mls_flags(), route::RerouteMode::kEco);

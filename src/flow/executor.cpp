@@ -18,13 +18,20 @@ int Executor::threads_from_env() {
   return n > 64 ? 64 : n;
 }
 
-void Executor::run(const std::vector<std::function<void()>>& tasks) const {
-  if (tasks.empty()) return;
-  if (threads_ == 1 || tasks.size() == 1) {
-    for (const auto& task : tasks) task();
-    return;
-  }
+std::vector<std::exception_ptr> Executor::run_collect(
+    const std::vector<std::function<void()>>& tasks) const {
   std::vector<std::exception_ptr> errors(tasks.size());
+  if (tasks.empty()) return errors;
+  if (threads_ == 1 || tasks.size() == 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    return errors;
+  }
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (;;) {
@@ -44,7 +51,11 @@ void Executor::run(const std::vector<std::function<void()>>& tasks) const {
   for (std::size_t t = 1; t < nthreads; ++t) pool.emplace_back(worker);
   worker();  // the calling thread pulls tasks too
   for (std::thread& t : pool) t.join();
-  for (const std::exception_ptr& e : errors)
+  return errors;
+}
+
+void Executor::run(const std::vector<std::function<void()>>& tasks) const {
+  for (const std::exception_ptr& e : run_collect(tasks))
     if (e) std::rethrow_exception(e);
 }
 

@@ -11,6 +11,7 @@
 // pass-manager refactor.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <vector>
 
@@ -26,10 +27,16 @@ class Executor {
   // GNNMLS_THREADS, clamped to [1, 64]; 1 when unset or unparsable.
   static int threads_from_env();
 
-  // Runs every task and returns when all are done. If any task threw, the
-  // exception of the lowest-indexed failing task is rethrown (deterministic
-  // regardless of thread interleaving); the remaining tasks still run to
-  // completion first, so no task is half-abandoned.
+  // Runs every task to completion — a failing task never abandons the rest,
+  // serial or parallel — and returns one slot per task: null on success, the
+  // task's exception otherwise. This is the wave-failure interface the
+  // PassManager's recovery layer consumes: ALL failures of a wave surface,
+  // not just the lowest-indexed one. Never throws.
+  std::vector<std::exception_ptr> run_collect(
+      const std::vector<std::function<void()>>& tasks) const;
+
+  // run_collect, then rethrows the exception of the lowest-indexed failing
+  // task (deterministic regardless of thread interleaving).
   void run(const std::vector<std::function<void()>>& tasks) const;
 
  private:

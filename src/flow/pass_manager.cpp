@@ -1,8 +1,15 @@
 #include "flow/pass_manager.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
+#include <utility>
 
 #include "flow/executor.hpp"
+#include "ft/error.hpp"
+#include "ft/policy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::flow {
@@ -61,6 +68,7 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
   const std::size_t n = pipeline.size();
   std::vector<char> done(n, 0);
   const Executor exec(Executor::threads_from_env());
+  const ft::FtOptions ft = ft::resolve(ctx.config.ft);
 
   for (;;) {
     // Which passes currently want to run? (Freshness changes wave to wave:
@@ -81,26 +89,136 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
     }
     if (wave.empty()) break;
 
-    std::vector<double> seconds(wave.size(), 0.0);
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(wave.size());
-    for (std::size_t k = 0; k < wave.size(); ++k) {
-      Pass* pass = pipeline[wave[k]];
-      tasks.push_back([pass, &ctx, &seconds, k] {
-        const auto t0 = std::chrono::steady_clock::now();
-        pass->run(ctx);
-        seconds[k] = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-      });
+    // Transaction scope: the union of the wave's write stages. Snapshotting
+    // once per wave (not per pass) keeps the copy count low and is exactly
+    // as safe — a failed wave is rolled back whole, including the writes of
+    // its passes that succeeded, because their ledger/done marks are only
+    // taken on wave success.
+    std::vector<core::Stage> wave_writes;
+    for (const std::size_t i : wave)
+      for (const core::Stage s : pipeline[i]->writes()) {
+        bool seen = false;
+        for (const core::Stage w : wave_writes) seen = seen || w == s;
+        if (!seen) wave_writes.push_back(s);
+      }
+    std::optional<core::DesignDB::Snapshot> snap;
+    std::uint64_t pre_fp = 0;
+    if (ft.transactional) {
+      snap = ctx.db.snapshot(wave_writes);
+      pre_fp = ctx.db.state_fingerprint();
     }
-    exec.run(tasks);  // rethrows the first failing task after the wave drains
 
-    for (std::size_t k = 0; k < wave.size(); ++k) {
-      const std::size_t i = wave[k];
-      done[i] = 1;
-      ledger_[pipeline[i]->name()] = fingerprint_of(*pipeline[i], ctx.db);
-      report_.executed.push_back(PassExecution{pipeline[i]->name(), seconds[k], report_.waves});
-      util::log_debug("flow: pass ", pipeline[i]->name(), " ran in wave ", report_.waves,
-                      " (", seconds[k] * 1e3, " ms)");
+    std::size_t attempt = 0;
+    for (;;) {
+      std::vector<double> seconds(wave.size(), 0.0);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(wave.size());
+      for (std::size_t k = 0; k < wave.size(); ++k) {
+        Pass* pass = pipeline[wave[k]];
+        tasks.push_back([pass, &ctx, &seconds, k, &ft] {
+          const auto t0 = std::chrono::steady_clock::now();
+          for (const core::Stage s : pass->writes()) ctx.db.begin_write(s);
+          pass->run(ctx);
+          for (const core::Stage s : pass->writes()) ctx.db.end_write(s);
+          seconds[k] =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          // Cooperative watchdog: passes cannot be killed mid-flight
+          // portably, so budget overruns are detected on return and
+          // converted into retryable timeouts (the retry observes the
+          // rolled-back — smaller or warmer — state, and may well fit).
+          if (ft.pass_budget_s > 0.0 && seconds[k] > ft.pass_budget_s) {
+            static obs::Counter& timeouts = obs::Metrics::instance().counter("ft.timeouts");
+            timeouts.add(1);
+            throw ft::FlowError(
+                ft::ErrorCode::kTimeout, pass->name(),
+                pass->writes().empty() ? "" : core::to_string(pass->writes().front()),
+                ctx.db.revision(core::Stage::kNetlist), /*retryable=*/true,
+                "pass ran " + std::to_string(seconds[k]) + " s, budget " +
+                    std::to_string(ft.pass_budget_s) + " s");
+          }
+        });
+      }
+
+      const std::vector<std::exception_ptr> errors = exec.run_collect(tasks);
+
+      std::vector<ft::FlowError> failures;
+      for (std::size_t k = 0; k < wave.size(); ++k) {
+        if (!errors[k]) continue;
+        Pass* pass = pipeline[wave[k]];
+        failures.push_back(ft::FlowError::wrap(
+            errors[k], pass->name(),
+            pass->writes().empty() ? "" : core::to_string(pass->writes().front()),
+            ctx.db.revision(core::Stage::kNetlist)));
+      }
+
+      if (failures.empty()) {
+        for (std::size_t k = 0; k < wave.size(); ++k) {
+          const std::size_t i = wave[k];
+          done[i] = 1;
+          ledger_[pipeline[i]->name()] = fingerprint_of(*pipeline[i], ctx.db);
+          report_.executed.push_back(
+              PassExecution{pipeline[i]->name(), seconds[k], report_.waves});
+          util::log_debug("flow: pass ", pipeline[i]->name(), " ran in wave ", report_.waves,
+                          " (", seconds[k] * 1e3, " ms)");
+        }
+        break;
+      }
+
+      // Wave failed. Tag the failures for the trace/metrics, roll back, and
+      // decide between retry and giving up.
+      static obs::Counter& fail_counter = obs::Metrics::instance().counter("ft.failures");
+      fail_counter.add(failures.size());
+      for (const ft::FlowError& e : failures) {
+        // An (instant) span per failure marks WHERE in the timeline the
+        // recovery machinery engaged; the Chrome trace shows it nested under
+        // whatever flow span is open.
+        obs::Span mark(("ft.fail." + e.pass()).c_str());
+        util::log_warn("flow: pass ", e.pass(), " failed (", ft::to_string(e.code()),
+                       e.retryable() ? ", retryable): " : ", fatal): ", e.what());
+      }
+
+      if (!ft.transactional) {
+        // Legacy mode: no rollback, rethrow the lowest-indexed failure
+        // unwrapped... except it is already wrapped; keep pre-FT observable
+        // behavior by rethrowing the original exception_ptr.
+        for (const std::exception_ptr& e : errors)
+          if (e) std::rethrow_exception(e);
+      }
+
+      ctx.db.restore(*snap);
+      const std::uint64_t post_fp = ctx.db.state_fingerprint();
+      RollbackRecord rb;
+      rb.wave = report_.waves;
+      for (const ft::FlowError& e : failures) rb.failed.push_back(e.pass());
+      rb.pre_fp = pre_fp;
+      rb.post_fp = post_fp;
+      rb.attempt = attempt;
+      report_.rollbacks.push_back(std::move(rb));
+      static obs::Counter& rollbacks = obs::Metrics::instance().counter("ft.rollbacks");
+      rollbacks.add(1);
+      if (post_fp != pre_fp)
+        util::log_warn("flow: rollback of wave ", report_.waves,
+                       " did not restore the pre-wave fingerprint (", pre_fp, " -> ", post_fp,
+                       ")");
+
+      bool all_retryable = true;
+      for (const ft::FlowError& e : failures) all_retryable = all_retryable && e.retryable();
+      if (all_retryable && attempt < static_cast<std::size_t>(std::max(0, ft.max_retries))) {
+        ft::apply_backoff(ft, static_cast<int>(attempt));
+        ++attempt;
+        ++report_.retries;
+        ++ctx.metrics.retries;
+        static obs::Counter& retries = obs::Metrics::instance().counter("ft.retries");
+        retries.add(1);
+        util::log_warn("flow: retrying wave ", report_.waves, " (attempt ", attempt + 1, " of ",
+                       ft.max_retries + 1, ")");
+        continue;
+      }
+
+      for (const ft::FlowError& e : failures)
+        report_.failed.push_back(
+            FailureRecord{e.pass(), ft::to_string(e.code()), e.what(), e.retryable()});
+      throw ft::AggregateFlowError(std::move(failures));
     }
     ++report_.waves;
   }

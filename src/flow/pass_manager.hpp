@@ -33,10 +33,33 @@ struct PassExecution {
   std::size_t wave = 0;  // 0-based dispatch wave
 };
 
+// One pass failure that survived the retry budget (the run threw an
+// ft::AggregateFlowError carrying the same information as exceptions).
+struct FailureRecord {
+  std::string pass;
+  std::string code;   // ft::to_string(ErrorCode)
+  std::string error;  // what()
+  bool retryable = false;
+};
+
+// One transactional rollback of a failed wave. pre_fp was digested before
+// the wave dispatched, post_fp after restore(); the crash-consistency
+// property tests assert they are equal (the rollback left no trace).
+struct RollbackRecord {
+  std::size_t wave = 0;
+  std::vector<std::string> failed;  // names of the passes that threw
+  std::uint64_t pre_fp = 0;
+  std::uint64_t post_fp = 0;
+  std::size_t attempt = 0;  // 0-based attempt that failed
+};
+
 struct RunReport {
   std::vector<PassExecution> executed;  // dispatch order (wave-major)
   std::vector<std::string> skipped;     // pipeline order
   std::size_t waves = 0;
+  std::vector<FailureRecord> failed;      // failures the run gave up on
+  std::vector<RollbackRecord> rollbacks;  // every rollback, incl. retried ones
+  std::size_t retries = 0;                // waves re-dispatched after rollback
 
   bool ran(std::string_view name) const;
   const PassExecution* find(std::string_view name) const;
@@ -45,9 +68,20 @@ struct RunReport {
 class PassManager {
  public:
   // Schedules and runs the pipeline against ctx.db. Returns the report for
-  // this invocation (also retained as last_report()). Exceptions from pass
-  // bodies propagate after the wave drains. The fingerprint ledger for
-  // pure-read passes persists across invocations, keyed by pass name.
+  // this invocation (also retained as last_report()). The fingerprint ledger
+  // for pure-read passes persists across invocations, keyed by pass name.
+  //
+  // Failure semantics (governed by ft::resolve(ctx.config.ft)):
+  //   * transactional (default): before each wave the union of its write
+  //     stages is snapshotted; if any pass throws, every failure is wrapped
+  //     into an ft::FlowError, the snapshot is restored (DB bit-identical to
+  //     pre-wave by state_fingerprint), and — when every failure is
+  //     retryable and the retry budget allows — the wave re-dispatches after
+  //     a deterministic backoff. Exhausted budgets throw
+  //     ft::AggregateFlowError carrying ALL wave failures; last_report()
+  //     keeps the FailureRecords and RollbackRecords either way.
+  //   * GNNMLS_FT=off: legacy behavior — no snapshot, the lowest-indexed
+  //     failing pass's exception rethrown as-is after the wave drains.
   const RunReport& run(const std::vector<Pass*>& pipeline, PassContext& ctx);
 
   const RunReport& last_report() const { return report_; }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "check/registry.hpp"
+#include "ft/policy.hpp"
 #include "mls/sota.hpp"
 #include "netlist/buffering.hpp"
 #include "pdn/pdn.hpp"
@@ -34,6 +35,11 @@ struct FlowConfig {
   // default: benches measure the flow, not the auditor.
   bool strict_checks = false;
   check::CheckOptions checks;
+  // Fault-tolerance policy (src/ft/): transactional rollback, retry budget,
+  // deterministic backoff, per-pass wall-clock budget. Environment knobs
+  // (GNNMLS_FT, GNNMLS_MAX_RETRIES, ...) override these at run() time via
+  // ft::resolve().
+  ft::FtOptions ft;
 };
 
 // One row of the paper's PPA tables.
@@ -75,6 +81,14 @@ struct FlowMetrics {
     return route_s + sta_s + power_s + pdn_s + check_s + decide_s + dft_s;
   }
   std::size_t overflow_gcells = 0;
+  // ---- fault-tolerance outcome (src/ft/) ---------------------------------
+  // degraded: some pass completed via its fallback path (GNN inference fell
+  // back to the SOTA heuristic, or an ECO reroute fell back to a full
+  // route_all) — the row is valid but not the first-choice algorithm's.
+  // retries: waves re-dispatched after a retryable failure + rollback.
+  // A clean run reports degraded=false, retries=0 (CI gates on it).
+  bool degraded = false;
+  std::size_t retries = 0;
 };
 
 }  // namespace gnnmls::flow

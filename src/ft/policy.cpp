@@ -1,0 +1,45 @@
+#include "ft/policy.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace gnnmls::ft {
+
+FtOptions resolve(const FtOptions& base) {
+  FtOptions out = base;
+  if (const char* env = std::getenv("GNNMLS_FT"); env != nullptr)
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) out.transactional = false;
+  if (const char* env = std::getenv("GNNMLS_MAX_RETRIES"); env != nullptr && *env != '\0') {
+    const int n = std::atoi(env);
+    if (n >= 0) out.max_retries = n;
+  }
+  if (const char* env = std::getenv("GNNMLS_BACKOFF_MS"); env != nullptr && *env != '\0') {
+    const double v = std::atof(env);
+    if (v >= 0.0) out.backoff_base_ms = v;
+  }
+  if (const char* env = std::getenv("GNNMLS_PASS_BUDGET_S"); env != nullptr && *env != '\0') {
+    const double v = std::atof(env);
+    if (v >= 0.0) out.pass_budget_s = v;
+  }
+  return out;
+}
+
+double backoff_ms(const FtOptions& options, int attempt) {
+  if (options.backoff_base_ms <= 0.0) return 0.0;
+  double ms = options.backoff_base_ms;
+  for (int k = 0; k < attempt; ++k) ms *= 2.0;
+  return ms;
+}
+
+void apply_backoff(const FtOptions& options, int attempt) {
+  const double ms = backoff_ms(options, attempt);
+  if (ms <= 0.0) return;
+  obs::Metrics::instance().gauge("ft.last_backoff_ms").set(ms);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace gnnmls::ft

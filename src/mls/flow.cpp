@@ -123,6 +123,10 @@ FlowMetrics DesignFlow::evaluate_gnn(GnnMlsEngine& engine, const CorpusOptions& 
   FlowMetrics m = evaluate(decide_pass_.flags(), Strategy::kGnn);
   m.decide_s = decide_metrics.decide_s;
   m.runtime_s += decide_metrics.decide_s;
+  // Recovery outcomes of the decide stage belong to the reported row too
+  // (a GNN→SOTA fallback makes the whole "Ours" row degraded).
+  m.degraded = m.degraded || decide_metrics.degraded;
+  m.retries += decide_metrics.retries;
   return m;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "flow/registry.hpp"
+#include "ft/fault_plan.hpp"
 #include "obs/trace.hpp"
 
 namespace gnnmls::pdn {
@@ -22,6 +23,7 @@ void PowerPass::run(flow::PassContext& ctx) {
   obs::Span span("flow.power");
   core::DesignDB& db = ctx.db;
   const route::Router& router = routed(db, "power");
+  GNNMLS_FAULT_POINT("power.estimate");
   const PowerReport pr =
       estimate_power(db.design(), db.tech(), router.routes(), ctx.config.power);
   db.set_power(pr);
@@ -33,6 +35,7 @@ void PdnPass::run(flow::PassContext& ctx) {
   obs::Span span("flow.pdn");
   core::DesignDB& db = ctx.db;
   const route::Router& router = routed(db, "pdn");
+  GNNMLS_FAULT_POINT("pdn.synthesize");
   db.set_pdn(synthesize_pdn(db.design(), db.tech(), router.routes(), ctx.config.pdn));
   db.commit(core::Stage::kPdn);
   ctx.metrics.pdn_s += span.seconds();

@@ -65,6 +65,19 @@ class RoutingGrid {
   void add_usage_at(std::size_t i, float amount) { use_[i] += amount; }
   void add_f2f_at(std::size_t i, float amount) { f2f_use_[i] += amount; }
 
+  // Mutable resource state (track + F2F usage) as one value, so the router's
+  // checkpoint can capture/restore a mid-route grid exactly. Capacities are
+  // construction-time constants and are not part of the state.
+  struct UsageState {
+    std::vector<float> use;
+    std::vector<float> f2f_use;
+  };
+  UsageState usage_state() const { return UsageState{use_, f2f_use_}; }
+  void restore_usage(const UsageState& state) {
+    use_ = state.use;
+    f2f_use_ = state.f2f_use;
+  }
+
   // Aggregate congestion census.
   struct Census {
     std::size_t overflow_gcells = 0;   // gcell-layers with usage > capacity

@@ -1,7 +1,12 @@
 #include "route/route_pass.hpp"
 
+#include <exception>
+
 #include "flow/registry.hpp"
+#include "ft/fault_plan.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 
 namespace gnnmls::route {
 
@@ -21,10 +26,23 @@ void RoutePass::run(flow::PassContext& ctx) {
   } else if (db.design().nl.revision() != router.routed_revision()) {
     // The netlist moved (ECO): minimal rip-up of the dirty nets, keeping the
     // surviving grid state. Nets added since the last route are implicitly
-    // dirty inside reroute_nets.
+    // dirty inside reroute_nets. Degradation policy: if the ECO repair dies
+    // (resource trouble mid-rip-up, injected fault), fall back to a full
+    // route_all — always well-defined, just slower — and flag the row.
     const std::vector<netlist::Id> dirty = db.take_dirty_nets();
-    rs = router.reroute_nets(dirty, flags, RerouteMode::kEco);
-    incremental = true;
+    try {
+      GNNMLS_FAULT_POINT("route.eco");
+      rs = router.reroute_nets(dirty, flags, RerouteMode::kEco);
+      incremental = true;
+    } catch (const std::exception& e) {
+      util::log_warn("route pass: ECO reroute failed (", e.what(),
+                     "); degrading to full route_all");
+      static obs::Counter& degraded = obs::Metrics::instance().counter("ft.degraded");
+      degraded.add(1);
+      ctx.metrics.degraded = true;
+      rs = router.route_all(flags);
+      incremental = false;
+    }
   } else if (db.dirty()) {
     // Same netlist, local changes (flag flips, touched pins): suffix replay,
     // bit-exact with a from-scratch route_all under the new flags.
@@ -35,6 +53,7 @@ void RoutePass::run(flow::PassContext& ctx) {
     // Stage invalidated outright with nothing dirty: route from scratch.
     rs = router.route_all(flags);
   }
+  GNNMLS_FAULT_POINT("route.commit");
   db.set_route_summary(rs, incremental);
   db.commit(core::Stage::kRoutes);
   ctx.metrics.route_s += span.seconds();

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "ft/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -445,6 +446,7 @@ RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
   mls_flags_ = mls_flags;
 
   for (Id net : route_order(mls_flags_)) {
+    GNNMLS_FAULT_POINT("route.net");
     commit_rec_ = &commits_[net];
     routes_[net] = route_net(net, flag_of(mls_flags_, net), /*commit=*/true);
     commit_rec_ = nullptr;
@@ -531,6 +533,7 @@ RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty,
   for (const Id i : affected) rip_up(i);
   mls_flags_ = mls_flags;
   for (const Id i : affected) {
+    GNNMLS_FAULT_POINT("route.net");
     commit_rec_ = &commits_[i];
     routes_[i] = route_net(i, flag_of(mls_flags_, i), /*commit=*/true);
     commit_rec_ = nullptr;
@@ -548,6 +551,19 @@ RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty,
 
 RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty, RerouteMode mode) {
   return reroute_nets(dirty, mls_flags_, mode);
+}
+
+Router::Checkpoint Router::checkpoint() const {
+  return Checkpoint{routes_, commits_, mls_flags_, routed_revision_, grid_.usage_state()};
+}
+
+void Router::restore(const Checkpoint& cp) {
+  routes_ = cp.routes;
+  commits_ = cp.commits;
+  mls_flags_ = cp.mls_flags;
+  routed_revision_ = cp.routed_revision;
+  grid_.restore_usage(cp.grid);
+  commit_rec_ = nullptr;  // a mid-route failure may have left it dangling
 }
 
 NetRoute Router::trial_route(Id net, bool mls) const {

@@ -130,7 +130,6 @@ class Router {
   // "M1-4(bot)+M6(top)" style rendering for Table I.
   static std::string describe_layers(const NetRoute& r);
 
- private:
   // Grid resources one committed net holds: flat track-cell indices plus F2F
   // pad cells, recorded at commit time so rip_up() can subtract them exactly.
   struct NetCommit {
@@ -138,6 +137,22 @@ class Router {
     std::vector<std::uint32_t> f2f;
   };
 
+  // Deep copy of every mutable routing artifact (routes, commit footprints,
+  // decision vector, grid usage, routed revision). checkpoint()/restore()
+  // bracket transactional pass execution: a pass that dies mid-route leaves
+  // partial grid usage and a prefix of committed nets, and restoring the
+  // checkpoint makes the router bit-identical to its pre-dispatch state.
+  struct Checkpoint {
+    std::vector<NetRoute> routes;
+    std::vector<NetCommit> commits;
+    std::vector<std::uint8_t> mls_flags;
+    std::uint64_t routed_revision = 0;
+    RoutingGrid::UsageState grid;
+  };
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& cp);
+
+ private:
   NetRoute route_net(netlist::Id net, bool mls, bool commit);
   void rip_up(netlist::Id net);
   // Deterministic total route order for the given decisions (MLS nets first

@@ -1,7 +1,12 @@
 #include "sta/sta_pass.hpp"
 
+#include <stdexcept>
+
 #include "flow/registry.hpp"
+#include "ft/fault_plan.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 
 namespace gnnmls::sta {
 
@@ -12,14 +17,30 @@ void StaPass::run(flow::PassContext& ctx) {
   TimingGraph* graph = db.timing_if_fresh();
 
   StaResult sr;
+  bool need_full = true;
   if (graph != nullptr && graph->clock_ps() > 0.0 && delta.valid) {
     // Incremental repair: the route pass left the exact changed-net list and
     // the graph's pin space still matches the netlist. update() is
-    // bit-identical to run() at the last clock.
-    sr = graph->update(delta.changed);
-  } else {
+    // bit-identical to run() at the last clock. A logic_error here means the
+    // graph's view of the netlist was stale after all (an invariant the
+    // freshness guards should make impossible, and fault injection makes
+    // reachable) — update() touched nothing yet, so instead of aborting the
+    // flow we degrade to the full rebuild, which is bit-identical anyway.
+    try {
+      GNNMLS_FAULT_POINT("sta.update");
+      sr = graph->update(delta.changed);
+      need_full = false;
+    } catch (const std::logic_error& e) {
+      util::log_warn("sta pass: incremental update rejected (", e.what(),
+                     "); rebuilding the timing graph");
+      static obs::Counter& rebuilds = obs::Metrics::instance().counter("ft.sta_rebuilds");
+      rebuilds.add(1);
+    }
+  }
+  if (need_full) {
     // timing() rebuilds the graph when the netlist revision moved since the
     // last build — the full-rebuild fallback of the incremental ECO story.
+    GNNMLS_FAULT_POINT("sta.run");
     TimingGraph& g = db.timing();
     sr = g.run(db.design().info.clock_ps, ctx.config.clock_uncertainty_ps);
   }

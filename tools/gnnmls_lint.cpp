@@ -19,6 +19,7 @@
 
 #include "check/checks.hpp"
 #include "flow/registry.hpp"
+#include "ft/fault_plan.hpp"
 #include "mls/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +41,10 @@ void usage(std::FILE* to) {
                "  --with-dft       insert scan + wire-based MLS DFT, then check it\n"
                "  --inject FAULT   corrupt the design first, to demo a rule:\n"
                "                   dangling-pin | multi-driver | dead-cell\n"
+               "  --inject-flow=S[:n]  arm fault site S to throw on its n-th visit (chaos\n"
+               "                   testing; the flow must recover: retry, degrade, or roll\n"
+               "                   back). Repeatable. See --list-fault-sites\n"
+               "  --list-fault-sites  print the fault-site catalogue and exit\n"
                "  --list-rules     print the rule table and exit\n"
                "  --list-passes    print the flow-pass registry (read/write sets) and exit\n"
                "  --only=P1,P2     run only the named flow passes (canonical order) instead\n"
@@ -49,7 +54,10 @@ void usage(std::FILE* to) {
                "  --trace-out F    write a Chrome trace-event JSON (chrome://tracing)\n"
                "                   of the flow to F (implies tracing)\n"
                "  --verbose        flow progress on stderr\n"
-               "env: GNNMLS_TRACE=F traces any run; GNNMLS_LOG_LEVEL sets verbosity\n");
+               "env: GNNMLS_TRACE=F traces any run; GNNMLS_LOG_LEVEL sets verbosity;\n"
+               "     GNNMLS_FAULT=S[:n][,...] arms fault sites like --inject-flow;\n"
+               "     GNNMLS_FT=off disables transactional recovery; GNNMLS_MAX_RETRIES,\n"
+               "     GNNMLS_BACKOFF_MS, GNNMLS_PASS_BUDGET_S tune the retry policy\n");
 }
 
 netlist::Design make_design(const std::string& name, std::uint64_t seed) {
@@ -121,6 +129,13 @@ std::string join_stages(const std::vector<core::Stage>& stages) {
   return out.empty() ? "-" : out;
 }
 
+void list_fault_sites() {
+  std::printf("%-16s %-6s %s\n", "site", "throws", "partial state when tripped");
+  for (const ft::FaultSite& s : ft::FaultPlan::known_sites())
+    std::printf("%-16s %-6s %s\n", s.name, s.throws_logic_error ? "logic" : "flow",
+                s.description);
+}
+
 void list_passes() {
   std::printf("%-8s %-34s %s\n", "pass", "reads", "writes");
   const flow::PassRegistry& registry = flow::PassRegistry::instance();
@@ -154,7 +169,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> only;
   std::uint64_t seed = 0;
   bool hetero = true, run_pdn = true, with_dft = false, verbose = false, profile = false;
+  bool chaos = false;
   obs::init_from_env();  // honor GNNMLS_TRACE before the flow starts
+  chaos = ft::FaultPlan::init_from_env();  // honor GNNMLS_FAULT (exits 2 on bad specs)
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -172,6 +189,17 @@ int main(int argc, char** argv) {
     else if (arg == "--no-pdn") run_pdn = false;
     else if (arg == "--with-dft") with_dft = true;
     else if (arg == "--inject") injection = value();
+    else if (arg.rfind("--inject-flow=", 0) == 0 || arg == "--inject-flow") {
+      const std::string spec = arg == "--inject-flow" ? value() : arg.substr(14);
+      try {
+        ft::FaultPlan::instance().arm_spec(spec);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "gnnmls_lint: %s (see --list-fault-sites)\n", e.what());
+        return 2;
+      }
+      chaos = true;
+    }
+    else if (arg == "--list-fault-sites") { list_fault_sites(); return 0; }
     else if (arg == "--list-rules") { list_rules(); return 0; }
     else if (arg == "--list-passes") { list_passes(); return 0; }
     else if (arg.rfind("--only=", 0) == 0) only = split_csv(arg.substr(7));
@@ -217,13 +245,14 @@ int main(int argc, char** argv) {
                            : std::vector<std::uint8_t>{};
   const mls::Strategy tag = (strategy == "sota") ? mls::Strategy::kSota : mls::Strategy::kNone;
   bool flow_ok = true;
+  mls::FlowMetrics flow_metrics;
   try {
     if (!only.empty())
-      flow.run_passes(only, flags, tag);
+      flow_metrics = flow.run_passes(only, flags, tag);
     else if (with_dft)
-      flow.evaluate_with_dft(flags, tag, dft::MlsDftStyle::kWireBased);
+      flow_metrics = flow.evaluate_with_dft(flags, tag, dft::MlsDftStyle::kWireBased).flow;
     else
-      flow.evaluate(flags, tag);
+      flow_metrics = flow.evaluate(flags, tag);
   } catch (const std::exception& e) {
     // A corrupt netlist can kill the flow mid-stage (e.g. a multi-driver net
     // stalls the STA topological sort). Diagnosing that is this tool's job,
@@ -232,10 +261,19 @@ int main(int argc, char** argv) {
                  e.what());
     flow_ok = false;
   }
+  bool rollback_leak = false;
   {
     const flow::RunReport& first = flow.last_run_report();
     std::printf("flow schedule: %zu pass(es) in %zu wave(s), %zu skipped\n",
                 first.executed.size(), first.waves, first.skipped.size());
+    // Recovery summary, one greppable line (ci.sh gates a clean run on
+    // degraded=0 retries=0 and the chaos sweep on "leaked=0" + exit 0).
+    for (const flow::RollbackRecord& rb : first.rollbacks)
+      if (rb.pre_fp != rb.post_fp) rollback_leak = true;
+    std::printf("recovery: degraded=%d retries=%zu rollbacks=%zu faults_injected=%llu leaked=%d\n",
+                flow_metrics.degraded ? 1 : 0, flow_metrics.retries, first.rollbacks.size(),
+                static_cast<unsigned long long>(ft::FaultPlan::instance().tripped()),
+                rollback_leak ? 1 : 0);
   }
 
   // Scheduling probe: a second evaluate on the now-unmutated DB must find
@@ -289,6 +327,14 @@ int main(int argc, char** argv) {
 
   if (!report.clean()) {
     std::printf("gnnmls_lint: FAILED (%zu error(s))\n", report.errors());
+    return 1;
+  }
+  if (chaos && !flow_ok) {
+    std::printf("gnnmls_lint: FAILED (injected fault was not recovered)\n");
+    return 1;
+  }
+  if (rollback_leak) {
+    std::printf("gnnmls_lint: FAILED (rollback left the DB fingerprint changed)\n");
     return 1;
   }
   std::printf("gnnmls_lint: clean\n");
