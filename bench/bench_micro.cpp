@@ -5,6 +5,7 @@
 // turns the full flow around in seconds).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -333,6 +334,54 @@ void BM_FlowDftStages(benchmark::State& st) {
   st.counters["runtime_s"] = dm.flow.runtime_s;
 }
 BENCHMARK(BM_FlowDftStages)->Unit(benchmark::kMillisecond);
+
+// Recording cost of the contract audit (src/audit/ layer 2): the timed loop
+// is BM_FlowStages' workload with GNNMLS_AUDIT=1 — recorder bound, every
+// DB access noted, the declaration diff run after each wave. An audit-off
+// twin phase is hand-timed off the clock so the counters can report the
+// relative overhead directly; the CI ledger watches overhead_pct against
+// the <=10% budget.
+void BM_AuditOverhead(benchmark::State& st) {
+  auto& f = *state().flow;
+  mls::FlowMetrics m;
+  using clock = std::chrono::steady_clock;
+
+  // Reference phase: the identical workload, audit off (one warm-up lap
+  // first so both phases run against a hot ledger and allocator).
+  constexpr int kRefIters = 8;
+  f.db().invalidate(core::Stage::kRoutes);
+  m = f.evaluate_no_mls();
+  const auto ref0 = clock::now();
+  for (int i = 0; i < kRefIters; ++i) {
+    f.db().invalidate(core::Stage::kRoutes);
+    m = f.evaluate_no_mls();
+    benchmark::ClobberMemory();  // see BM_FlowStages: lvalue DoNotOptimize miscompiles
+  }
+  const double off_s = std::chrono::duration<double>(clock::now() - ref0).count() / kRefIters;
+
+  ::setenv("GNNMLS_AUDIT", "1", 1);
+  std::size_t audited = 0, iters = 0, violations = 0;
+  const auto on0 = clock::now();
+  for (auto _ : st) {
+    f.db().invalidate(core::Stage::kRoutes);
+    m = f.evaluate_no_mls();
+    audited = f.last_run_report().audited;
+    violations = f.last_run_report().audit.size();
+    ++iters;
+    benchmark::ClobberMemory();  // see BM_FlowStages: lvalue DoNotOptimize miscompiles
+  }
+  const double on_s =
+      std::chrono::duration<double>(clock::now() - on0).count() / static_cast<double>(iters);
+  ::unsetenv("GNNMLS_AUDIT");
+
+  st.counters["audited_passes"] = static_cast<double>(audited);
+  st.counters["violations"] = static_cast<double>(violations);  // must stay 0
+  st.counters["baseline_ms"] = off_s * 1e3;
+  st.counters["audited_ms"] = on_s * 1e3;
+  st.counters["overhead_pct"] = off_s > 0.0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+  st.counters["runtime_s"] = m.runtime_s;
+}
+BENCHMARK(BM_AuditOverhead)->Unit(benchmark::kMillisecond);
 
 void BM_DecideStage(benchmark::State& st) {
   // One tiny-but-real engine (scaler fitted by a 1-epoch pretrain) reused

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests, sanitizer run, and the design-integrity lint.
+# CI gate: tier-1 tests, sanitizer runs (ASan/UBSan + TSan), the
+# design-integrity lint, and the pass-contract audit (static + runtime).
 #
-#   scripts/ci.sh            # everything (three build trees)
-#   scripts/ci.sh --fast     # tier-1 + lint only, skip the sanitizer build
+#   scripts/ci.sh            # everything (four build trees)
+#   scripts/ci.sh --fast     # tier-1 + lint/audit only, skip tidy + sanitizers
 #
 # Exits nonzero on the first failing stage.
 set -euo pipefail
@@ -21,6 +22,36 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 echo "==> lint gate: gnnmls_lint on the quickstart design (maeri16)"
 ./build/tools/gnnmls_lint --design maeri16 --strategy sota | tee LINT_sota.txt
 ./build/tools/gnnmls_lint --design maeri16 --strategy sota --with-dft
+
+echo "==> schedule-analysis gate: declared pass contracts must prove clean"
+# Layer-1 static audit (src/audit/): without running anything, the full
+# registry must partition into conflict-free waves with every read driven,
+# every write consumed, and every possible mutation covered by the wave
+# snapshots (AU-00x). The negative probe then runs sta alone — its routes
+# input is undriven in that schedule, and the analyzer must refute it with
+# a nonzero exit, proving the gate can actually fail.
+./build/tools/gnnmls_lint --analyze-schedule | tee LINT_schedule.txt
+grep -q 'schedule-analysis: passes=7 waves=4 conflicts=0 undriven=0 unused=0 rollback_holes=0 duplicates=0' \
+  LINT_schedule.txt
+rm -f LINT_schedule.txt
+if ./build/tools/gnnmls_lint --analyze-schedule --only=sta >LINT_schedule_neg.txt 2>&1; then
+  echo "schedule-analysis gate FAILED: an undriven read was not refuted"
+  cat LINT_schedule_neg.txt
+  exit 1
+fi
+grep -q 'undriven=1' LINT_schedule_neg.txt
+rm -f LINT_schedule_neg.txt
+echo "schedule-analysis gate OK"
+
+echo "==> audit gate: runtime access audit must observe zero contract violations"
+# Layer-2 dynamic audit: the same flow with the DesignDB access recorder on
+# (GNNMLS_AUDIT=1) — every pass's observed stage accesses diffed against its
+# declarations (AU-10x). The greppable summary must report all-zero counts.
+GNNMLS_AUDIT=1 ./build/tools/gnnmls_lint --design maeri16 --strategy sota --with-dft \
+  | tee LINT_audit.txt
+grep -qE 'audit: passes=[0-9]+ undeclared_writes=0 undeclared_reads=0' LINT_audit.txt
+rm -f LINT_audit.txt
+echo "audit gate OK"
 
 echo "==> pass-skip gate: a second evaluate on a clean DB must schedule nothing"
 # gnnmls_lint re-runs evaluate() after the flow and prints the scheduler's
@@ -84,7 +115,7 @@ echo "==> perf smoke: incremental-ECO + per-stage microbenchmarks on MAERI-16PE"
 # run; the gate is that the cases run to completion, the JSON is for trend
 # tracking.
 ./build/bench/bench_micro \
-  --benchmark_filter='BM_RouteAll|BM_RerouteEco|BM_StaFullRun|BM_StaIncremental|BM_FlowStages|BM_FlowDftStages|BM_DecideStage|BM_PassSkip|BM_FlowParallel' \
+  --benchmark_filter='BM_RouteAll|BM_RerouteEco|BM_StaFullRun|BM_StaIncremental|BM_FlowStages|BM_FlowDftStages|BM_DecideStage|BM_PassSkip|BM_FlowParallel|BM_AuditOverhead' \
   --benchmark_out=BENCH_incremental.json --benchmark_out_format=json \
   --benchmark_min_time=0.05
 
@@ -107,6 +138,28 @@ else
 fi
 
 if [[ "${FAST}" == "0" ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy: src/ against compile_commands.json"
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    git ls-files 'src/*.cpp' 'tools/*.cpp' | xargs clang-tidy -p build --quiet
+  else
+    echo "==> clang-tidy not installed; skipping the static-analysis sweep"
+  fi
+
+  echo "==> tsan: -fsanitize=thread build + parallel-wave suites (build-tsan/)"
+  # Thread sanitizer over the code that actually runs multi-threaded: the
+  # pass-manager/executor suites, the fault-injection recovery loop, and the
+  # access-audit recorder, each forced to 4 worker threads so waves really
+  # interleave, plus the chaos sweep end to end. (A full ctest run under
+  # TSan is ~10x wall clock; these binaries cover every concurrent path.)
+  cmake -B build-tsan -S . -DGNNMLS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "${JOBS}" \
+    --target test_flow_passes test_ft test_audit gnnmls_lint
+  TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_flow_passes
+  TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_ft
+  TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_audit
+  TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 chaos_sweep ./build-tsan/tools/gnnmls_lint
+
   echo "==> sanitizers: ASan+UBSan build + full test suite (build-asan/)"
   cmake -B build-asan -S . -DGNNMLS_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo

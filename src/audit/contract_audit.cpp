@@ -1,0 +1,48 @@
+#include "audit/contract_audit.hpp"
+
+namespace gnnmls::audit {
+
+namespace {
+
+bool contains(const std::vector<core::Stage>& stages, core::Stage s) {
+  for (const core::Stage x : stages)
+    if (x == s) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<ft::AuditViolation> diff_contract(const std::string& pass_name,
+                                              const std::vector<core::Stage>& declared_reads,
+                                              const std::vector<core::Stage>& declared_writes,
+                                              const core::AccessRecorder& observed,
+                                              bool netlist_moved, std::uint64_t db_revision) {
+  std::vector<ft::AuditViolation> out;
+  for (std::size_t i = 0; i < core::kNumStages; ++i) {
+    const core::Stage s = static_cast<core::Stage>(i);
+    bool wrote = observed.wrote(s);
+    if (s == core::Stage::kNetlist && netlist_moved && observed.took_mutable_design())
+      wrote = true;
+    if (wrote && !contains(declared_writes, s)) {
+      ft::AuditViolation v;
+      v.kind = ft::ViolationKind::kUndeclaredWrite;
+      v.pass = pass_name;
+      v.stage = s;
+      v.db_revision = db_revision;
+      v.detail = "stage not in writes(); wave snapshots cannot roll it back";
+      out.push_back(std::move(v));
+    }
+    if (observed.read(s) && !contains(declared_reads, s) && !contains(declared_writes, s)) {
+      ft::AuditViolation v;
+      v.kind = ft::ViolationKind::kUndeclaredRead;
+      v.pass = pass_name;
+      v.stage = s;
+      v.db_revision = db_revision;
+      v.detail = "stage not in reads(); the scheduler may co-dispatch its writer";
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnmls::audit

@@ -29,6 +29,10 @@ class CheckPass : public flow::Pass {
             core::Stage::kPower,   core::Stage::kPdn,     core::Stage::kTest};
   }
   std::vector<core::Stage> writes() const override { return {}; }
+  // Missing inputs skip their rule group (mark_pass_skipped) instead of
+  // failing, so an undriven read is an info, not an error, to the static
+  // schedule analyzer.
+  bool tolerates_missing_reads() const override { return true; }
   void run(flow::PassContext& ctx) override;
 };
 

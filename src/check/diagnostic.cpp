@@ -30,12 +30,17 @@ void Report::count(Severity severity) {
 }
 
 void Report::add(const RuleInfo& rule, std::string entity, std::string message) {
+  add(rule, rule.severity, std::move(entity), std::move(message));
+}
+
+void Report::add(const RuleInfo& rule, Severity severity, std::string entity,
+                 std::string message) {
   const std::size_t n = counts_[rule.id]++;
-  count(rule.severity);
+  count(severity);
   if (n >= kMaxStoredPerRule) return;
   Diagnostic d;
   d.rule = rule.id;
-  d.severity = rule.severity;
+  d.severity = severity;
   d.entity = std::move(entity);
   d.message = std::move(message);
   diags_.push_back(std::move(d));

@@ -55,6 +55,10 @@ class Report {
 
   void add(const RuleInfo& rule, std::string entity, std::string message);
   void add(const RuleInfo& rule, std::string entity, std::string message, Location loc);
+  // Severity-overriding add, for rules whose effective severity depends on
+  // context (AU-002 demotes to info when the reader tolerates missing
+  // inputs). The override must not exceed the rule's declared severity.
+  void add(const RuleInfo& rule, Severity severity, std::string entity, std::string message);
   // Record that a pass ran (even if it found nothing), for the summary.
   void mark_pass_run(const std::string& pass_name);
   void mark_pass_skipped(const std::string& pass_name, const std::string& why);

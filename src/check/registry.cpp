@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/schedule_analyzer.hpp"
 #include "check/checks.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -115,6 +116,15 @@ CheckRegistry CheckRegistry::with_default_passes() {
     }
     check_ft_state(*s.db, r);
     r.mark_pass_run("ft");
+  });
+  registry.add("audit", [](const Snapshot& s, Report& r) {
+    // Static schedule analysis (AU-00x) over the process-wide PassRegistry:
+    // the declarations, not the snapshot, are the subject, so this pass runs
+    // even on hand-built snapshots. A test binary that registers a stub pass
+    // with broken declarations will (correctly) fail here.
+    (void)s;
+    r.merge(audit::analyze(audit::model_from_registry()).report);
+    r.mark_pass_run("audit");
   });
   registry.add("pdn", [](const Snapshot& s, Report& r) {
     if (!s.design || !s.tech) {

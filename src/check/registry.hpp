@@ -74,7 +74,7 @@ class CheckRegistry {
   Report run(const Snapshot& snapshot) const;
   Report run(const Snapshot& snapshot, std::span<const std::string> subset) const;
 
-  // All built-in passes: netlist, sta, route, mls, dft, pdn.
+  // All built-in passes: netlist, sta, route, mls, dft, ft, audit, pdn.
   static CheckRegistry with_default_passes();
 
  private:

@@ -42,6 +42,23 @@ constexpr RuleInfo kRules[] = {
      "worst static IR drop stays within the budget (10% of the lowest VDD)"},
     {"PDN-002", "missing-level-shifter", Severity::kError,
      "heterogeneous stacks: every cross-tier connection lands on a level-shifter input"},
+    // AU-00x: static schedule analysis over declared pass contracts
+    // (src/audit/schedule_analyzer). AU-10x: dynamic contract audit from the
+    // GNNMLS_AUDIT=1 DesignDB access recorder (src/audit/contract_audit).
+    {"AU-001", "wave-conflict", Severity::kError,
+     "no two passes in one dispatch wave conflict on a stage (RAW/WAR/WAW)"},
+    {"AU-002", "undriven-read", Severity::kError,
+     "every declared read is written by an earlier pass or provided by a seed stage"},
+    {"AU-003", "unused-write", Severity::kWarning,
+     "every written stage is read by another pass or is a pipeline output"},
+    {"AU-004", "rollback-hole", Severity::kError,
+     "every stage a wave can modify is covered by the wave's snapshot union"},
+    {"AU-005", "duplicate-declaration", Severity::kWarning,
+     "a pass's reads()/writes() sets list each stage at most once"},
+    {"AU-101", "undeclared-write", Severity::kError,
+     "a running pass writes only the DesignDB stages it declares in writes()"},
+    {"AU-102", "undeclared-read", Severity::kError,
+     "a running pass reads only the DesignDB stages it declares (writes subsume reads)"},
 };
 
 }  // namespace

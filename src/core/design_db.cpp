@@ -8,34 +8,6 @@
 
 namespace gnnmls::core {
 
-const char* to_string(Stage s) {
-  switch (s) {
-    case Stage::kNetlist: return "netlist";
-    case Stage::kPlacement: return "placement";
-    case Stage::kRoutes: return "routes";
-    case Stage::kTiming: return "timing";
-    case Stage::kPower: return "power";
-    case Stage::kPdn: return "pdn";
-    case Stage::kTest: return "test";
-  }
-  return "?";
-}
-
-Stage upstream_of(Stage s) {
-  switch (s) {
-    case Stage::kNetlist: return Stage::kNetlist;  // root
-    case Stage::kPlacement: return Stage::kNetlist;
-    case Stage::kRoutes: return Stage::kPlacement;
-    case Stage::kTiming: return Stage::kRoutes;
-    case Stage::kPower: return Stage::kRoutes;
-    case Stage::kPdn: return Stage::kRoutes;
-    // The test model refers to net ids (open_nets/observe_pins), so it is
-    // pinned to the netlist, not to a particular routing.
-    case Stage::kTest: return Stage::kNetlist;
-  }
-  return Stage::kNetlist;
-}
-
 DesignDB::DesignDB(netlist::Design design, const tech::Tech3D& tech)
     : design_(std::move(design)), tech_(&tech) {}
 
@@ -63,6 +35,7 @@ bool DesignDB::fresh(Stage s) const {
 std::uint64_t DesignDB::commit(Stage s) {
   if (s == Stage::kNetlist)
     throw std::logic_error("the netlist stage versions itself (mutation journal)");
+  audit_note_write(s);
   StageTag& t = tags_[static_cast<std::size_t>(s)];
   t.revision = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   t.built_from = revision(upstream_of(s));
@@ -81,6 +54,9 @@ void DesignDB::invalidate(Stage s) {
     Stage walk = candidate;
     while (true) {
       if (walk == s) {
+        // A never-built stage's invalidation is a semantic no-op; only
+        // actually-dropped artifacts count as writes for the audit layer.
+        if (tags_[i].revision != 0) audit_note_write(candidate);
         tags_[i] = StageTag{};
         break;
       }
@@ -92,6 +68,8 @@ void DesignDB::invalidate(Stage s) {
 }
 
 void DesignDB::touch_net(netlist::Id net) {
+  // Dirtying a net revokes routing freshness: a kRoutes write.
+  audit_note_write(Stage::kRoutes);
   const auto it = std::lower_bound(dirty_.begin(), dirty_.end(), net);
   if (it != dirty_.end() && *it == net) return;
   dirty_.insert(it, net);
@@ -108,6 +86,7 @@ void DesignDB::touch_journal_since(std::size_t mark) {
 }
 
 void DesignDB::absorb_journal() {
+  audit_note_read(Stage::kNetlist);
   const std::size_t size = design_.nl.journal_size();
   if (journal_cursor_ >= size) return;
   touch_journal_since(journal_cursor_);
@@ -128,18 +107,26 @@ void DesignDB::set_mls_flags(std::vector<std::uint8_t> flags) {
 }
 
 void DesignDB::set_route_summary(const route::RouteSummary& summary, bool incremental) {
+  audit_note_write(Stage::kRoutes);
   route_summary_ = summary;
   route_delta_.valid = incremental;
   route_delta_.changed = summary.changed_nets;
 }
 
 void DesignDB::set_sta_result(const sta::StaResult& result) {
+  // Consuming the route delta below is modeled as part of the kTiming
+  // hand-off (the delta rides along with every snapshot), not a kRoutes
+  // write — otherwise every STA run would need a phantom kRoutes
+  // declaration and the sta/power/pdn wave could never parallelize.
+  audit_note_write(Stage::kTiming);
   sta_result_ = result;
   route_delta_.valid = false;  // consumed: the next STA must not reuse it
   route_delta_.changed.clear();
 }
 
 std::vector<netlist::Id> DesignDB::take_dirty_nets() {
+  audit_note_read(Stage::kRoutes);
+  audit_note_write(Stage::kRoutes);
   std::vector<netlist::Id> out;
   out.swap(dirty_);
   obs::Metrics::instance().gauge("db.dirty_nets").set(static_cast<double>(out.size()));
@@ -147,14 +134,21 @@ std::vector<netlist::Id> DesignDB::take_dirty_nets() {
 }
 
 route::Router& DesignDB::router(const route::RouterOptions& options) {
+  audit_note_read(Stage::kRoutes);
   if (!router_) router_ = std::make_unique<route::Router>(design_, *tech_, options);
   return *router_;
 }
 
 sta::TimingGraph& DesignDB::timing() {
+  audit_note_read(Stage::kTiming);
   if (!router_)
     throw std::logic_error("DesignDB::timing needs the router's routes; route first");
+  audit_note_read(Stage::kRoutes);
   if (!sta_ || sta_built_at_ != design_.nl.revision()) {
+    // Rebuilding the graph is a kTiming write — a pass that triggers it on a
+    // stale netlist without declaring kTiming is exactly the kind of hidden
+    // coupling the audit exists to catch.
+    audit_note_write(Stage::kTiming);
     sta_ = std::make_unique<sta::TimingGraph>(design_, *tech_, router_->routes());
     sta_built_at_ = design_.nl.revision();
     invalidate(Stage::kTiming);
@@ -163,11 +157,13 @@ sta::TimingGraph& DesignDB::timing() {
 }
 
 const sta::TimingGraph* DesignDB::timing_if_fresh() const {
+  audit_note_read(Stage::kTiming);
   if (!sta_ || sta_built_at_ != design_.nl.revision()) return nullptr;
   return sta_.get();
 }
 
 sta::TimingGraph* DesignDB::timing_if_fresh() {
+  audit_note_read(Stage::kTiming);
   if (!sta_ || sta_built_at_ != design_.nl.revision()) return nullptr;
   return sta_.get();
 }

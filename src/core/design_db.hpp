@@ -26,6 +26,8 @@
 #include <span>
 #include <vector>
 
+#include "core/access_audit.hpp"
+#include "core/stage.hpp"
 #include "dft/faults.hpp"
 #include "netlist/generators.hpp"
 #include "pdn/pdn.hpp"
@@ -35,22 +37,6 @@
 #include "tech/tech.hpp"
 
 namespace gnnmls::core {
-
-// Pipeline stages, in dependency order. Each stage's artifact is built from
-// its upstream_of() stage (kNetlist is the root and always "built").
-enum class Stage : std::uint8_t {
-  kNetlist = 0,
-  kPlacement,
-  kRoutes,
-  kTiming,
-  kPower,
-  kPdn,
-  kTest,
-};
-inline constexpr std::size_t kNumStages = 7;
-
-const char* to_string(Stage s);
-Stage upstream_of(Stage s);
 
 struct StageTag {
   std::uint64_t revision = 0;    // 0 = artifact never built
@@ -66,8 +52,19 @@ class DesignDB {
   DesignDB(const DesignDB&) = delete;
   DesignDB& operator=(const DesignDB&) = delete;
 
-  netlist::Design& design() { return design_; }
-  const netlist::Design& design() const { return design_; }
+  // The non-const overload notes a *mutable* design access for the audit
+  // layer: DB hooks cannot see mutations made through the returned netlist
+  // reference, so the PassManager pairs this note with the wave's netlist
+  // revision delta to attribute kNetlist writes.
+  netlist::Design& design() {
+    audit_note_read(Stage::kNetlist);
+    audit_note_mutable_design();
+    return design_;
+  }
+  const netlist::Design& design() const {
+    audit_note_read(Stage::kNetlist);
+    return design_;
+  }
   const tech::Tech3D& tech() const { return *tech_; }
 
   // ---- revisions ---------------------------------------------------------
@@ -103,14 +100,20 @@ class DesignDB {
   // replay, and ECO routing.
   void absorb_journal();
   // Sorted, deduplicated.
-  const std::vector<netlist::Id>& dirty_nets() const { return dirty_; }
+  const std::vector<netlist::Id>& dirty_nets() const {
+    audit_note_read(Stage::kRoutes);
+    return dirty_;
+  }
   bool dirty() const { return !dirty_.empty(); }
   std::vector<netlist::Id> take_dirty_nets();
 
   // ---- artifacts ---------------------------------------------------------
   // Created on first use with the given options (later calls ignore them).
   route::Router& router(const route::RouterOptions& options = {});
-  const route::Router* router_if_built() const { return router_.get(); }
+  const route::Router* router_if_built() const {
+    audit_note_read(Stage::kRoutes);
+    return router_.get();
+  }
   // The timing graph, rebuilt automatically when the netlist revision moved
   // since the last build (its pin topology is frozen at construction).
   // Requires the router to exist with routes parallel to the netlist.
@@ -120,12 +123,30 @@ class DesignDB {
   const sta::TimingGraph* timing_if_fresh() const;
   sta::TimingGraph* timing_if_fresh();
 
-  void set_power(const pdn::PowerReport& report) { power_ = report; }
-  const std::optional<pdn::PowerReport>& power() const { return power_; }
-  void set_pdn(pdn::PdnDesign pdn) { pdn_ = std::move(pdn); }
-  const pdn::PdnDesign* pdn() const { return pdn_ ? &*pdn_ : nullptr; }
-  void set_test_model(dft::TestModel model) { test_model_ = std::move(model); }
-  const dft::TestModel* test_model() const { return test_model_ ? &*test_model_ : nullptr; }
+  void set_power(const pdn::PowerReport& report) {
+    audit_note_write(Stage::kPower);
+    power_ = report;
+  }
+  const std::optional<pdn::PowerReport>& power() const {
+    audit_note_read(Stage::kPower);
+    return power_;
+  }
+  void set_pdn(pdn::PdnDesign pdn) {
+    audit_note_write(Stage::kPdn);
+    pdn_ = std::move(pdn);
+  }
+  const pdn::PdnDesign* pdn() const {
+    audit_note_read(Stage::kPdn);
+    return pdn_ ? &*pdn_ : nullptr;
+  }
+  void set_test_model(dft::TestModel model) {
+    audit_note_write(Stage::kTest);
+    test_model_ = std::move(model);
+  }
+  const dft::TestModel* test_model() const {
+    audit_note_read(Stage::kTest);
+    return test_model_ ? &*test_model_ : nullptr;
+  }
   // Replaces the per-net MLS decision vector, touching every net whose flag
   // actually changed (absent entries count as 0). A flag flip therefore
   // dirties exactly the nets it affects, routing staleness falls out of the
@@ -143,15 +164,22 @@ class DesignDB {
   // can never feed a later incremental update.
   void set_route_summary(const route::RouteSummary& summary, bool incremental);
   const route::RouteSummary* route_summary() const {
+    audit_note_read(Stage::kRoutes);
     return route_summary_ ? &*route_summary_ : nullptr;
   }
   struct RouteDelta {
     bool valid = false;  // true only between an incremental route and the next STA
     std::vector<netlist::Id> changed;
   };
-  const RouteDelta& route_delta() const { return route_delta_; }
+  const RouteDelta& route_delta() const {
+    audit_note_read(Stage::kRoutes);
+    return route_delta_;
+  }
   void set_sta_result(const sta::StaResult& result);
-  const sta::StaResult* sta_result() const { return sta_result_ ? &*sta_result_ : nullptr; }
+  const sta::StaResult* sta_result() const {
+    audit_note_read(Stage::kTiming);
+    return sta_result_ ? &*sta_result_ : nullptr;
+  }
 
   // ---- transactional stage snapshots (src/ft/) ---------------------------
   // A Snapshot is a deep copy of the artifacts behind the given stages plus

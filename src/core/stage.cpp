@@ -1,0 +1,33 @@
+#include "core/stage.hpp"
+
+namespace gnnmls::core {
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kNetlist: return "netlist";
+    case Stage::kPlacement: return "placement";
+    case Stage::kRoutes: return "routes";
+    case Stage::kTiming: return "timing";
+    case Stage::kPower: return "power";
+    case Stage::kPdn: return "pdn";
+    case Stage::kTest: return "test";
+  }
+  return "?";
+}
+
+Stage upstream_of(Stage s) {
+  switch (s) {
+    case Stage::kNetlist: return Stage::kNetlist;  // root
+    case Stage::kPlacement: return Stage::kNetlist;
+    case Stage::kRoutes: return Stage::kPlacement;
+    case Stage::kTiming: return Stage::kRoutes;
+    case Stage::kPower: return Stage::kRoutes;
+    case Stage::kPdn: return Stage::kRoutes;
+    // The test model refers to net ids (open_nets/observe_pins), so it is
+    // pinned to the netlist, not to a particular routing.
+    case Stage::kTest: return Stage::kNetlist;
+  }
+  return Stage::kNetlist;
+}
+
+}  // namespace gnnmls::core

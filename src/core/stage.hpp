@@ -1,0 +1,29 @@
+// Stage: the flow pipeline's stage identifiers.
+//
+// Split out of design_db.hpp so lightweight consumers (the access-audit
+// recorder, the ft error taxonomy, the static schedule analyzer) can name
+// stages without pulling in the whole DesignDB artifact surface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gnnmls::core {
+
+// Pipeline stages, in dependency order. Each stage's artifact is built from
+// its upstream_of() stage (kNetlist is the root and always "built").
+enum class Stage : std::uint8_t {
+  kNetlist = 0,
+  kPlacement,
+  kRoutes,
+  kTiming,
+  kPower,
+  kPdn,
+  kTest,
+};
+inline constexpr std::size_t kNumStages = 7;
+
+const char* to_string(Stage s);
+Stage upstream_of(Stage s);
+
+}  // namespace gnnmls::core

@@ -11,7 +11,7 @@ namespace gnnmls::flow {
 Executor::Executor(int threads) : threads_(threads < 1 ? 1 : threads) {}
 
 int Executor::threads_from_env() {
-  const char* env = std::getenv("GNNMLS_THREADS");
+  const char* env = std::getenv("GNNMLS_THREADS");  // NOLINT(concurrency-mt-unsafe): read once at startup
   if (env == nullptr || *env == '\0') return 1;
   const int n = std::atoi(env);
   if (n < 1) return 1;

@@ -64,6 +64,12 @@ class Pass {
   // engines forces a re-run).
   virtual std::uint64_t fingerprint() const { return 0; }
 
+  // True for consumers that degrade gracefully when a declared read stage
+  // was never built (the check pass skips rule groups instead of failing).
+  // The static schedule analyzer (src/audit/) then reports an undriven read
+  // at info severity instead of error (AU-002).
+  virtual bool tolerates_missing_reads() const { return false; }
+
   virtual void run(PassContext& ctx) = 0;
 };
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <utility>
 
+#include "audit/contract_audit.hpp"
+#include "core/access_audit.hpp"
 #include "flow/executor.hpp"
 #include "ft/error.hpp"
 #include "ft/policy.hpp"
@@ -21,6 +25,27 @@ bool intersects(const std::vector<core::Stage>& a, const std::vector<core::Stage
     for (const core::Stage y : b)
       if (x == y) return true;
   return false;
+}
+
+// Appends the wave's violations to the report, deduplicating by
+// (kind, pass, stage): a retried wave re-observes the same mis-declaration,
+// which is one finding, not one per attempt. Counters move only on insert.
+void record_violations(std::vector<ft::AuditViolation> found, RunReport& report,
+                       FlowMetrics& metrics) {
+  for (ft::AuditViolation& v : found) {
+    bool known = false;
+    for (const ft::AuditViolation& seen : report.audit)
+      known = known || (seen.kind == v.kind && seen.pass == v.pass && seen.stage == v.stage);
+    if (known) continue;
+    util::log_warn("flow: ", v.line());
+    static obs::Counter& writes =
+        obs::Metrics::instance().counter("ft.audit.undeclared_writes");
+    static obs::Counter& reads =
+        obs::Metrics::instance().counter("ft.audit.undeclared_reads");
+    (v.kind == ft::ViolationKind::kUndeclaredWrite ? writes : reads).add(1);
+    ++metrics.contract_violations;
+    report.audit.push_back(std::move(v));
+  }
 }
 
 }  // namespace
@@ -55,6 +80,14 @@ std::uint64_t PassManager::fingerprint_of(const Pass& pass, const core::DesignDB
   return h;
 }
 
+bool PassManager::audit_enabled(const FlowConfig& config) {
+  // Read once per run() on the dispatch thread, same discipline as
+  // ft::resolve / Executor::threads_from_env.
+  const char* env = std::getenv("GNNMLS_AUDIT");  // NOLINT(concurrency-mt-unsafe)
+  if (env == nullptr || *env == '\0') return config.audit;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}
+
 bool PassManager::wants_run(const Pass& pass, const core::DesignDB& db) const {
   if (!pass.needs_run(db)) return false;
   if (!pass.writes().empty()) return true;
@@ -69,6 +102,7 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
   std::vector<char> done(n, 0);
   const Executor exec(Executor::threads_from_env());
   const ft::FtOptions ft = ft::resolve(ctx.config.ft);
+  const bool audit = audit_enabled(ctx.config);
 
   for (;;) {
     // Which passes currently want to run? (Freshness changes wave to wave:
@@ -111,14 +145,28 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
     std::size_t attempt = 0;
     for (;;) {
       std::vector<double> seconds(wave.size(), 0.0);
+      // One recorder per pass execution, indexed like `seconds`: distinct
+      // slots, so concurrent passes never share recorder state. The netlist
+      // revision is captured on the dispatch thread, OUTSIDE any scope
+      // (design() must not charge the manager's own peek to a pass), and
+      // re-captured per attempt — a rollback restores the pre-wave netlist.
+      std::vector<core::AccessRecorder> recorders(audit ? wave.size() : 0);
+      const std::uint64_t nl_rev_before =
+          audit ? ctx.db.design().nl.revision() : 0;
       std::vector<std::function<void()>> tasks;
       tasks.reserve(wave.size());
       for (std::size_t k = 0; k < wave.size(); ++k) {
         Pass* pass = pipeline[wave[k]];
-        tasks.push_back([pass, &ctx, &seconds, k, &ft] {
+        tasks.push_back([pass, &ctx, &seconds, k, &ft, audit, &recorders] {
           const auto t0 = std::chrono::steady_clock::now();
           for (const core::Stage s : pass->writes()) ctx.db.begin_write(s);
-          pass->run(ctx);
+          {
+            // The scope covers only the pass body — not the begin/end_write
+            // brackets — and unbinds even when the pass throws, leaving the
+            // partial access trace for the post-wave diff.
+            core::AuditScope scope(audit ? &recorders[k] : nullptr);
+            pass->run(ctx);
+          }
           for (const core::Stage s : pass->writes()) ctx.db.end_write(s);
           seconds[k] =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -140,6 +188,25 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
       }
 
       const std::vector<std::exception_ptr> errors = exec.run_collect(tasks);
+
+      if (audit) {
+        // Diff BEFORE the success/failure fork so findings from a wave that
+        // is about to be rolled back (and maybe retried) are kept.
+        const bool nl_moved = ctx.db.design().nl.revision() != nl_rev_before;
+        const std::uint64_t db_rev = ctx.db.revision(core::Stage::kNetlist);
+        std::vector<ft::AuditViolation> found;
+        for (std::size_t k = 0; k < wave.size(); ++k) {
+          const Pass& pass = *pipeline[wave[k]];
+          ++report_.audited;
+          std::vector<ft::AuditViolation> vs = audit::diff_contract(
+              pass.name(), pass.reads(), pass.writes(), recorders[k], nl_moved, db_rev);
+          found.insert(found.end(), std::make_move_iterator(vs.begin()),
+                       std::make_move_iterator(vs.end()));
+        }
+        static obs::Counter& audited = obs::Metrics::instance().counter("ft.audit.passes");
+        audited.add(wave.size());
+        record_violations(std::move(found), report_, ctx.metrics);
+      }
 
       std::vector<ft::FlowError> failures;
       for (std::size_t k = 0; k < wave.size(); ++k) {

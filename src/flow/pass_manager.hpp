@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "flow/pass.hpp"
+#include "ft/error.hpp"
 
 namespace gnnmls::flow {
 
@@ -60,6 +61,13 @@ struct RunReport {
   std::vector<FailureRecord> failed;      // failures the run gave up on
   std::vector<RollbackRecord> rollbacks;  // every rollback, incl. retried ones
   std::size_t retries = 0;                // waves re-dispatched after rollback
+  // ---- contract audit (GNNMLS_AUDIT=1) -----------------------------------
+  // Unique (kind, pass, stage) violations observed by the access recorder,
+  // diffed after every wave attempt — including rolled-back ones, so a
+  // finding from a faulted wave survives its rollback. audited counts pass
+  // executions the recorder covered (attempts, not just successes).
+  std::vector<ft::AuditViolation> audit;
+  std::size_t audited = 0;
 
   bool ran(std::string_view name) const;
   const PassExecution* find(std::string_view name) const;
@@ -89,6 +97,11 @@ class PassManager {
   // True when passes a (earlier in the pipeline) and b (later) touch a
   // common stage in a way that forces their order. Exposed for tests.
   static bool conflicts(const Pass& a, const Pass& b);
+
+  // Effective audit-mode switch for a run: config.audit, overridden by
+  // GNNMLS_AUDIT=1/on (enable) or =0/off (disable). Exposed so the lint CLI
+  // prints the audit summary exactly when the manager recorded one.
+  static bool audit_enabled(const FlowConfig& config);
 
  private:
   std::uint64_t fingerprint_of(const Pass& pass, const core::DesignDB& db) const;

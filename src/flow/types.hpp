@@ -40,6 +40,13 @@ struct FlowConfig {
   // (GNNMLS_FT, GNNMLS_MAX_RETRIES, ...) override these at run() time via
   // ft::resolve().
   ft::FtOptions ft;
+  // Contract audit (src/audit/ layer 2): record each pass's actual DesignDB
+  // stage accesses on a per-thread recorder and diff them against the
+  // declared reads()/writes() after every wave. Violations land on the
+  // RunReport and the ft.audit.* counters; results stay bit-identical
+  // (test-enforced). GNNMLS_AUDIT=1/off overrides at run() time. Off by
+  // default: BM_AuditOverhead tracks the recording cost.
+  bool audit = false;
 };
 
 // One row of the paper's PPA tables.
@@ -89,6 +96,10 @@ struct FlowMetrics {
   // A clean run reports degraded=false, retries=0 (CI gates on it).
   bool degraded = false;
   std::size_t retries = 0;
+  // Unique contract violations the GNNMLS_AUDIT=1 recorder attributed to
+  // this run's passes (0 when audit is off — or when every declaration is
+  // honest, which CI gates on).
+  std::size_t contract_violations = 0;
 };
 
 }  // namespace gnnmls::flow

@@ -70,6 +70,26 @@ FlowError FlowError::wrap(std::exception_ptr error, const std::string& pass,
   }
 }
 
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUndeclaredWrite: return "undeclared-write";
+    case ViolationKind::kUndeclaredRead: return "undeclared-read";
+  }
+  return "?";
+}
+
+std::string AuditViolation::line() const {
+  std::string out = "audit-violation: pass=";
+  out += pass.empty() ? "?" : pass;
+  out += " kind=";
+  out += to_string(kind);
+  out += " stage=";
+  out += core::to_string(stage);
+  out += " rev=" + std::to_string(db_revision);
+  if (!detail.empty()) out += " (" + detail + ")";
+  return out;
+}
+
 namespace {
 
 std::string render_aggregate(const std::vector<FlowError>& errors) {

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "core/stage.hpp"
+
 namespace gnnmls::ft {
 
 enum class ErrorCode : std::uint8_t {
@@ -56,6 +58,31 @@ class FlowError : public std::runtime_error {
   std::string stage_;
   std::uint64_t db_revision_ = 0;
   bool retryable_ = false;
+};
+
+// ---- contract-audit violations (src/audit/ layer 2) ------------------------
+// A pass touched a DesignDB stage outside its declared read/write sets,
+// observed by the GNNMLS_AUDIT=1 access recorder. Not an exception: the run
+// completes (the violation may well be benign today), but every scheduling
+// and rollback guarantee derived from the declarations is void for that
+// stage, so the violations are carried on the RunReport, counted under
+// ft.audit.*, and fail the lint gate.
+enum class ViolationKind : std::uint8_t {
+  kUndeclaredWrite = 0,  // wrote a stage missing from writes()
+  kUndeclaredRead,       // read a stage missing from reads() and writes()
+};
+
+const char* to_string(ViolationKind kind);
+
+struct AuditViolation {
+  ViolationKind kind = ViolationKind::kUndeclaredWrite;
+  std::string pass;
+  core::Stage stage = core::Stage::kNetlist;
+  std::uint64_t db_revision = 0;  // netlist revision when the wave drained
+  std::string detail;
+
+  // One greppable line: "audit-violation: pass=... kind=... stage=... rev=..."
+  std::string line() const;
 };
 
 // Every failure of one pass wave, in pipeline order. what() renders a

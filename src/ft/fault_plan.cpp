@@ -40,7 +40,7 @@ namespace {
 // variable was present. Bad specs abort with a clear message (a typo'd chaos
 // run silently testing nothing is worse than a crash).
 bool arm_from_env(FaultPlan& plan) {
-  const char* env = std::getenv("GNNMLS_FAULT");
+  const char* env = std::getenv("GNNMLS_FAULT");  // NOLINT(concurrency-mt-unsafe): first touch, pre-threads
   if (env == nullptr || *env == '\0') return false;
   std::string_view specs(env);
   while (!specs.empty()) {
@@ -145,7 +145,7 @@ void FaultPlan::visit(const char* site) {
 
 bool FaultPlan::init_from_env() {
   instance();  // first touch already armed from the environment
-  const char* env = std::getenv("GNNMLS_FAULT");
+  const char* env = std::getenv("GNNMLS_FAULT");  // NOLINT(concurrency-mt-unsafe)
   return env != nullptr && *env != '\0';
 }
 

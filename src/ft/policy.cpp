@@ -9,6 +9,8 @@
 
 namespace gnnmls::ft {
 
+// NOLINTBEGIN(concurrency-mt-unsafe): getenv-only, and every caller resolves
+// on the dispatch thread before any worker spawns.
 FtOptions resolve(const FtOptions& base) {
   FtOptions out = base;
   if (const char* env = std::getenv("GNNMLS_FT"); env != nullptr)
@@ -27,6 +29,7 @@ FtOptions resolve(const FtOptions& base) {
   }
   return out;
 }
+// NOLINTEND(concurrency-mt-unsafe)
 
 double backoff_ms(const FtOptions& options, int attempt) {
   if (options.backoff_base_ms <= 0.0) return 0.0;

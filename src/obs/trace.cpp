@@ -243,7 +243,7 @@ bool init_from_env() {
   static std::once_flag once;
   static bool active = false;
   std::call_once(once, [] {
-    const char* path = std::getenv("GNNMLS_TRACE");
+    const char* path = std::getenv("GNNMLS_TRACE");  // NOLINT(concurrency-mt-unsafe)
     if (!path || !*path) return;
     static std::string out_path = path;  // outlives the atexit handler
     Tracer::instance().set_enabled(true);

@@ -11,7 +11,7 @@ namespace gnnmls::util {
 namespace {
 
 LogLevel initial_level() {
-  const char* env = std::getenv("GNNMLS_LOG_LEVEL");
+  const char* env = std::getenv("GNNMLS_LOG_LEVEL");  // NOLINT(concurrency-mt-unsafe): read once at startup
   return env ? parse_log_level(env, LogLevel::kInfo) : LogLevel::kInfo;
 }
 
