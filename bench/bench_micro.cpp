@@ -51,6 +51,49 @@ void BM_RouteAll(benchmark::State& st) {
 }
 BENCHMARK(BM_RouteAll)->Unit(benchmark::kMillisecond);
 
+// The two routing engines head to head: ci.sh's perf-smoke reads these rows
+// out of BENCH_routing.json and gates (a) the negotiated engine's multi-core
+// nets/s win over serial (hosts with >= 4 cores) and (b) equal-or-better
+// final overflow. The serial row is the single-pass legacy engine; the
+// negotiated rows sweep GNNMLS_THREADS over the sharded engine.
+void BM_RouteSerial(benchmark::State& st) {
+  auto& f = *state().flow;
+  route::RouterOptions opt;
+  opt.negotiate = false;
+  route::Router router(f.design(), f.tech(), opt);
+  std::size_t overflow = 0;
+  for (auto _ : st) {
+    const route::RouteSummary rs = router.route_all({});
+    overflow = rs.census.overflow_gcells + rs.census.f2f_overflow_gcells;
+    benchmark::ClobberMemory();
+  }
+  st.counters["nets/s"] = benchmark::Counter(
+      static_cast<double>(f.design().nl.num_nets()) * static_cast<double>(st.iterations()),
+      benchmark::Counter::kIsRate);
+  st.counters["overflow"] = static_cast<double>(overflow);
+}
+BENCHMARK(BM_RouteSerial)->Unit(benchmark::kMillisecond);
+
+void BM_RouteNegotiated(benchmark::State& st) {
+  const std::string threads = std::to_string(st.range(0));
+  ::setenv("GNNMLS_THREADS", threads.c_str(), 1);
+  auto& f = *state().flow;
+  route::Router router(f.design(), f.tech());
+  std::size_t overflow = 0;
+  for (auto _ : st) {
+    const route::RouteSummary rs = router.route_all({});
+    overflow = rs.census.overflow_gcells + rs.census.f2f_overflow_gcells;
+    benchmark::ClobberMemory();
+  }
+  ::unsetenv("GNNMLS_THREADS");
+  st.counters["nets/s"] = benchmark::Counter(
+      static_cast<double>(f.design().nl.num_nets()) * static_cast<double>(st.iterations()),
+      benchmark::Counter::kIsRate);
+  st.counters["overflow"] = static_cast<double>(overflow);
+  st.counters["threads"] = static_cast<double>(st.range(0));
+}
+BENCHMARK(BM_RouteNegotiated)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_StaFullRun(benchmark::State& st) {
   auto& f = *state().flow;
   for (auto _ : st) benchmark::DoNotOptimize(f.sta().run(400.0, 40.0));

@@ -119,6 +119,61 @@ echo "==> perf smoke: incremental-ECO + per-stage microbenchmarks on MAERI-16PE"
   --benchmark_out=BENCH_incremental.json --benchmark_out_format=json \
   --benchmark_min_time=0.05
 
+echo "==> perf smoke: routing engines (serial vs sharded negotiated, BENCH_routing.json)"
+# BM_RouteSerial is the legacy single-pass engine; BM_RouteNegotiated/{1,2,4}
+# is the sharded three-phase engine under that GNNMLS_THREADS count. Both
+# export nets/s and the post-route overflow census, so BENCH_routing.json
+# carries quality next to throughput run over run.
+./build/bench/bench_micro \
+  --benchmark_filter='BM_RouteSerial|BM_RouteNegotiated' \
+  --benchmark_out=BENCH_routing.json --benchmark_out_format=json \
+  --benchmark_min_time=0.05
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, os
+rows = {b["name"]: b for b in json.load(open("BENCH_routing.json"))["benchmarks"]}
+serial, neg1, neg4 = (rows[n] for n in
+                      ("BM_RouteSerial", "BM_RouteNegotiated/1", "BM_RouteNegotiated/4"))
+# Quality gate (unconditional): negotiation must end at or below the serial
+# engine's overflow — the refactor may not trade quality for speed.
+assert neg4["overflow"] <= serial["overflow"], (
+    f'negotiated overflow {neg4["overflow"]} > serial {serial["overflow"]}')
+assert neg1["overflow"] == neg4["overflow"], (
+    "negotiated overflow differs across thread counts (determinism bug): "
+    f'{neg1["overflow"]} vs {neg4["overflow"]}')
+# Throughput gate (multi-core hosts only): 4 worker threads must buy at
+# least 2x nets/s over the same engine at 1 thread. Single-core CI runners
+# cannot observe a speedup, so there the numbers are ledger-only.
+cores = os.cpu_count() or 1
+if cores >= 4:
+    speedup = neg4["nets/s"] / neg1["nets/s"]
+    assert speedup >= 2.0, f"nets/s speedup at 4 threads only {speedup:.2f}x (< 2x)"
+    print(f"routing perf gate OK: {speedup:.2f}x at 4 threads, "
+          f'overflow {int(neg4["overflow"])} <= serial {int(serial["overflow"])}')
+else:
+    print(f"routing perf gate OK (ledger-only on {cores}-core host): "
+          f'overflow {int(neg4["overflow"])} <= serial {int(serial["overflow"])}')
+EOF
+else
+  echo "routing perf gate: python3 not installed; BENCH_routing.json is ledger-only"
+fi
+
+echo "==> determinism gate: state fingerprint identical across GNNMLS_THREADS=1/2/4"
+# End-to-end thread-sweep over the full flow (route -> STA -> power): the
+# sharded router speculates in parallel but commits serially in a fixed
+# order, so the DB fingerprint gnnmls_lint prints must not move with the
+# worker count. Any drift here is a scheduling leak into routing results.
+fp_sweep=""
+for t in 1 2 4; do
+  fp="$(GNNMLS_THREADS=${t} ./build/tools/gnnmls_lint --design maeri16 --strategy sota \
+        | grep '^state fingerprint: ')"
+  echo "GNNMLS_THREADS=${t}: ${fp}"
+  [[ -z "${fp_sweep}" ]] && fp_sweep="${fp}"
+  [[ "${fp}" == "${fp_sweep}" ]] \
+    || { echo "determinism gate FAILED: fingerprint moved at GNNMLS_THREADS=${t}"; exit 1; }
+done
+echo "determinism gate OK"
+
 echo "==> trace gate: traced lint run emits a loadable Chrome trace"
 GNNMLS_TRACE=trace_flow.json ./build/tools/gnnmls_lint --design maeri16 --profile
 if command -v python3 >/dev/null 2>&1; then
@@ -148,16 +203,18 @@ if [[ "${FAST}" == "0" ]]; then
 
   echo "==> tsan: -fsanitize=thread build + parallel-wave suites (build-tsan/)"
   # Thread sanitizer over the code that actually runs multi-threaded: the
-  # pass-manager/executor suites, the fault-injection recovery loop, and the
-  # access-audit recorder, each forced to 4 worker threads so waves really
-  # interleave, plus the chaos sweep end to end. (A full ctest run under
-  # TSan is ~10x wall clock; these binaries cover every concurrent path.)
+  # pass-manager/executor suites, the fault-injection recovery loop, the
+  # access-audit recorder, and the sharded router's speculative edge tasks,
+  # each forced to 4 worker threads so waves really interleave, plus the
+  # chaos sweep end to end. (A full ctest run under TSan is ~10x wall
+  # clock; these binaries cover every concurrent path.)
   cmake -B build-tsan -S . -DGNNMLS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "${JOBS}" \
-    --target test_flow_passes test_ft test_audit gnnmls_lint
+    --target test_flow_passes test_ft test_audit test_route gnnmls_lint
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_flow_passes
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_ft
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_audit
+  TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_route
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 chaos_sweep ./build-tsan/tools/gnnmls_lint
 
   echo "==> sanitizers: ASan+UBSan build + full test suite (build-asan/)"

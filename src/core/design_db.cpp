@@ -46,6 +46,50 @@ std::uint64_t DesignDB::commit(Stage s) {
   return t.revision;
 }
 
+void DesignDB::renumber_stages(std::span<const Stage> stages) {
+  // Stages from the wave that actually committed, in canonical enum order.
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const Stage s = static_cast<Stage>(i);
+    if (s == Stage::kNetlist) continue;
+    if (tags_[i].revision == 0) continue;
+    if (std::find(stages.begin(), stages.end(), s) == stages.end()) continue;
+    idx.push_back(i);
+  }
+  if (idx.size() < 2) return;  // a single commit cannot permute
+
+  // The wave's revision values, detached from whichever completion order the
+  // executor threads happened to produce, reassigned ascending in stage
+  // order. The value *set* is unchanged, so the counter stays consistent.
+  std::vector<std::uint64_t> old_rev(kNumStages, 0);
+  std::vector<std::uint64_t> values;
+  values.reserve(idx.size());
+  for (const std::size_t i : idx) {
+    old_rev[i] = tags_[i].revision;
+    values.push_back(tags_[i].revision);
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<std::uint64_t> new_rev(kNumStages, 0);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    new_rev[idx[k]] = values[k];
+    tags_[idx[k]].revision = values[k];
+  }
+
+  // Patch built_from links that referenced a renumbered upstream by its old
+  // value — e.g. a pass committing placement then routes in the same wave.
+  // Revisions are globally unique (one counter), so an exact match on the
+  // old value is exactly an intra-wave dependency, never a coincidence.
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const Stage s = static_cast<Stage>(i);
+    if (s == Stage::kNetlist || tags_[i].revision == 0) continue;
+    const Stage up = upstream_of(s);
+    if (up == s || up == Stage::kNetlist) continue;
+    const std::size_t u = static_cast<std::size_t>(up);
+    if (old_rev[u] != 0 && tags_[i].built_from == old_rev[u])
+      tags_[i].built_from = new_rev[u];
+  }
+}
+
 void DesignDB::invalidate(Stage s) {
   for (std::size_t i = 0; i < kNumStages; ++i) {
     const Stage candidate = static_cast<Stage>(i);
@@ -111,6 +155,7 @@ void DesignDB::set_route_summary(const route::RouteSummary& summary, bool increm
   route_summary_ = summary;
   route_delta_.valid = incremental;
   route_delta_.changed = summary.changed_nets;
+  route_delta_.changed_edges = summary.changed_edges;
 }
 
 void DesignDB::set_sta_result(const sta::StaResult& result) {
@@ -122,6 +167,7 @@ void DesignDB::set_sta_result(const sta::StaResult& result) {
   sta_result_ = result;
   route_delta_.valid = false;  // consumed: the next STA must not reuse it
   route_delta_.changed.clear();
+  route_delta_.changed_edges.clear();
 }
 
 std::vector<netlist::Id> DesignDB::take_dirty_nets() {
@@ -293,6 +339,38 @@ std::uint64_t DesignDB::state_fingerprint() const {
           (static_cast<std::uint64_t>(r.f2f_vias) << 16) |
           (static_cast<std::uint64_t>(r.mls_applied) << 24));
     }
+    // Edge-granular state: the net-level aggregates above cannot see two
+    // routings that differ per edge but sum to the same totals, which is
+    // exactly what a thread-count-dependent negotiation bug would produce.
+    // Mix every edge's geometry/layer choice so the ci.sh thread-sweep gate
+    // (GNNMLS_THREADS in {1,2,4} -> identical fingerprint) is load-bearing.
+    // All fields of one edge collapse into a single mixed word (fingerprint
+    // runs on every transactional wave, so the per-edge cost matters).
+    auto fbits = [](float v) {
+      std::uint32_t b = 0;
+      std::memcpy(&b, &v, sizeof(b));
+      return static_cast<std::uint64_t>(b);
+    };
+    constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+    for (std::size_t n = 0; n < router_->routes().size(); ++n) {
+      const auto& edges = router_->net_edges(static_cast<netlist::Id>(n));
+      std::uint64_t eb = edges.size();
+      for (const route::EdgeRoute& e : edges) {
+        eb = eb * kGolden ^ (static_cast<std::uint64_t>(e.routed) |
+                             (static_cast<std::uint64_t>(e.route_tier) << 1) |
+                             (static_cast<std::uint64_t>(e.layer_lo) << 2) |
+                             (static_cast<std::uint64_t>(e.f2f) << 10) |
+                             (static_cast<std::uint64_t>(e.shared) << 18) |
+                             (static_cast<std::uint64_t>(e.fallback) << 19) |
+                             (static_cast<std::uint64_t>(e.gx1) << 20) |
+                             (static_cast<std::uint64_t>(e.gy1) << 31) |
+                             (static_cast<std::uint64_t>(e.gx2) << 42) |
+                             (static_cast<std::uint64_t>(e.gy2) << 53));
+        eb = eb * kGolden ^ (fbits(e.wl_um) | (fbits(e.res_ohm) << 32));
+        eb = eb * kGolden ^ fbits(e.cap_ff);
+      }
+      mix(eb);
+    }
   }
   if (route_summary_) {
     mix_f(route_summary_->total_wl_m);
@@ -302,6 +380,10 @@ std::uint64_t DesignDB::state_fingerprint() const {
   }
   mix(static_cast<std::uint64_t>(route_delta_.valid));
   for (const netlist::Id n : route_delta_.changed) mix(n);
+  for (const route::EdgeRef& e : route_delta_.changed_edges) {
+    mix(e.net);
+    mix(e.edge);
+  }
   if (sta_result_) {
     mix_f(sta_result_->wns_ps);
     mix_f(sta_result_->tns_ns);

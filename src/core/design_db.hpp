@@ -170,6 +170,11 @@ class DesignDB {
   struct RouteDelta {
     bool valid = false;  // true only between an incremental route and the next STA
     std::vector<netlist::Id> changed;
+    // Edge-granular view of the same delta: the exact 2-pin tree edges whose
+    // routed values changed, as reported by Router::reroute_nets. Every edge's
+    // net appears in `changed`; consumers that only need net granularity can
+    // ignore this list.
+    std::vector<route::EdgeRef> changed_edges;
   };
   const RouteDelta& route_delta() const {
     audit_note_read(Stage::kRoutes);
@@ -209,6 +214,18 @@ class DesignDB {
   };
   Snapshot snapshot(std::span<const Stage> stages) const;
   void restore(const Snapshot& snap);
+
+  // Deterministic revision assignment for stages committed concurrently in
+  // one scheduler wave: commit() draws from the shared counter in
+  // completion order, which is thread-timing dependent, so the same wave
+  // can assign the same set of revision values to its stages in a
+  // different permutation run to run. Called by the PassManager at the
+  // wave's serial success point, this reassigns those values in canonical
+  // stage order (patching intra-wave built_from links, e.g. the route
+  // pass's placement→routes chain) so the full DB state — fingerprint
+  // included — is invariant under GNNMLS_THREADS. No-op for waves that
+  // committed fewer than two of the listed stages.
+  void renumber_stages(std::span<const Stage> stages);
 
   // ---- mid-write markers (ft transactions, FT-001) -----------------------
   // The PassManager brackets each pass's declared write stages; restore()

@@ -135,11 +135,25 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
         for (const core::Stage w : wave_writes) seen = seen || w == s;
         if (!seen) wave_writes.push_back(s);
       }
+    // Pre-wave revisions of the declared write stages, so the success path
+    // below can renumber exactly the stages this wave re-committed (a
+    // declared-but-skipped write keeps its old tag and must not be touched).
+    std::vector<std::uint64_t> pre_revs;
+    pre_revs.reserve(wave_writes.size());
+    for (const core::Stage s : wave_writes)
+      pre_revs.push_back(ctx.db.tag(s).revision);
     std::optional<core::DesignDB::Snapshot> snap;
     std::uint64_t pre_fp = 0;
     if (ft.transactional) {
+      // Charged to tx_s (and the flow.tx span): this is manager overhead,
+      // not any pass's work, but it is real wall-clock the stage breakdown
+      // must account for — the snapshot scales with the routing state.
+      GNNMLS_SPAN("flow.tx");
+      const auto tx0 = std::chrono::steady_clock::now();
       snap = ctx.db.snapshot(wave_writes);
       pre_fp = ctx.db.state_fingerprint();
+      ctx.metrics.tx_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - tx0).count();
     }
 
     std::size_t attempt = 0;
@@ -219,6 +233,17 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
       }
 
       if (failures.empty()) {
+        // Passes that ran concurrently drew their stage revisions from the
+        // shared counter in completion order, which permutes with thread
+        // timing. Renormalize the stages this wave actually re-committed
+        // here, at the wave's serial success point and before the ledger
+        // fingerprints below hash them, so the DB state is invariant under
+        // GNNMLS_THREADS.
+        std::vector<core::Stage> committed;
+        for (std::size_t w = 0; w < wave_writes.size(); ++w)
+          if (ctx.db.tag(wave_writes[w]).revision != pre_revs[w])
+            committed.push_back(wave_writes[w]);
+        ctx.db.renumber_stages(committed);
         for (std::size_t k = 0; k < wave.size(); ++k) {
           const std::size_t i = wave[k];
           done[i] = 1;
@@ -252,8 +277,11 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
           if (e) std::rethrow_exception(e);
       }
 
+      const auto tx0 = std::chrono::steady_clock::now();
       ctx.db.restore(*snap);
       const std::uint64_t post_fp = ctx.db.state_fingerprint();
+      ctx.metrics.tx_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - tx0).count();
       RollbackRecord rb;
       rb.wave = report_.waves;
       for (const ft::FlowError& e : failures) rb.failed.push_back(e.pass());

@@ -83,9 +83,15 @@ struct FlowMetrics {
   double check_s = 0.0;
   double decide_s = 0.0;
   double dft_s = 0.0;
+  // Transactional overhead the PassManager spends outside any pass: the
+  // per-wave write-set snapshot and the pre-wave leak-detection fingerprint
+  // (plus rollback/restore work on a failed wave). Accounted under the
+  // flow.tx span so the stage breakdown stays within tolerance of
+  // runtime_s even as the snapshotted state grows.
+  double tx_s = 0.0;
   // Sum of the stage fields above — the audited part of runtime_s.
   double stage_sum_s() const {
-    return route_s + sta_s + power_s + pdn_s + check_s + decide_s + dft_s;
+    return route_s + sta_s + power_s + pdn_s + check_s + decide_s + dft_s + tx_s;
   }
   std::size_t overflow_gcells = 0;
   // ---- fault-tolerance outcome (src/ft/) ---------------------------------

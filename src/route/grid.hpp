@@ -64,6 +64,10 @@ class RoutingGrid {
   std::size_t f2f_index(int x, int y) const { return idx2(x, y); }
   void add_usage_at(std::size_t i, float amount) { use_[i] += amount; }
   void add_f2f_at(std::size_t i, float amount) { f2f_use_[i] += amount; }
+  // Flat cell counts, sizing the negotiation history surface and the
+  // per-plane overflow masks (route/shard.hpp, route/negotiate.hpp).
+  std::size_t num_track_cells() const { return use_.size(); }
+  std::size_t num_f2f_cells() const { return f2f_use_.size(); }
 
   // Mutable resource state (track + F2F usage) as one value, so the router's
   // checkpoint can capture/restore a mid-route grid exactly. Capacities are

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "flow/registry.hpp"
+#include "ft/error.hpp"
 #include "ft/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,10 +20,30 @@ void RoutePass::run(flow::PassContext& ctx) {
   Router& router = db.router(ctx.config.router);
   const std::vector<std::uint8_t>& flags = db.mls_flags();
 
+  // Full route with the ft degradation ladder: if the negotiated engine
+  // overruns its cooperative watchdog budget (retryable kTimeout), fall back
+  // to the serial single-pass router — always well-defined, just slower and
+  // without congestion negotiation — and flag the row. Any other failure
+  // (injected faults, broken invariants) propagates for the wave-level
+  // rollback/retry machinery.
+  auto degraded_full_route = [&]() -> RouteSummary {
+    try {
+      return router.route_all(flags);
+    } catch (const ft::FlowError& e) {
+      if (e.code() != ft::ErrorCode::kTimeout) throw;
+      util::log_warn("route pass: negotiation budget overrun (", e.what(),
+                     "); degrading to the serial router");
+      static obs::Counter& degraded = obs::Metrics::instance().counter("ft.degraded");
+      degraded.add(1);
+      ctx.metrics.degraded = true;
+      return router.route_all_serial(flags);
+    }
+  };
+
   RouteSummary rs;
   bool incremental = false;
   if (router.routed_revision() == 0) {
-    rs = router.route_all(flags);
+    rs = degraded_full_route();
   } else if (db.design().nl.revision() != router.routed_revision()) {
     // The netlist moved (ECO): minimal rip-up of the dirty nets, keeping the
     // surviving grid state. Nets added since the last route are implicitly

@@ -8,6 +8,7 @@
 #include "ft/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "route/negotiate.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::route {
@@ -35,28 +36,8 @@ struct RouteCounters {
 using netlist::Id;
 using netlist::kNullId;
 
-// One terminal of a net: pin position + electrical role.
-struct Terminal {
-  float x = 0.0f, y = 0.0f;
-  std::uint8_t tier = 0;
-  float pin_cap_ff = 0.0f;  // 0 for the driver terminal
-};
-
-// A candidate way to route one tree edge.
-struct EdgeChoice {
-  int route_tier = 0;     // tier whose metals carry the wire
-  int layer_lo = 1;       // layer pair (layer_lo, layer_lo + 1)
-  int f2f = 0;            // F2F vias used (0, 1 = tier change, 2 = MLS round trip)
-  bool shared = false;    // true when this is an MLS shared-layer choice
-  double cost_ps = std::numeric_limits<double>::infinity();
-  double res_ohm = 0.0;
-  double cap_ff = 0.0;
-  double wl_um = 0.0;
-  double overflow = 0.0;  // max usage/capacity seen along the edge
-};
-
 // Value equality of two routed results, used by reroute_nets to report which
-// nets actually moved (exact compare: a replayed net that sees the identical
+// nets actually moved (exact compare: a rerouted net that sees the identical
 // congestion state must reproduce the identical route).
 bool net_route_equal(const NetRoute& a, const NetRoute& b) {
   return a.wl_um == b.wl_um && a.res_ohm == b.res_ohm && a.cap_ff == b.cap_ff &&
@@ -64,6 +45,35 @@ bool net_route_equal(const NetRoute& a, const NetRoute& b) {
          a.layers_used[0] == b.layers_used[0] && a.layers_used[1] == b.layers_used[1] &&
          a.f2f_vias == b.f2f_vias && a.mls_applied == b.mls_applied &&
          a.worst_overflow == b.worst_overflow && a.sink_elmore_ps == b.sink_elmore_ps;
+}
+
+// Tallies the per-edge observability counts of one net's routed edges.
+struct EdgeTally {
+  std::uint64_t candidates = 0, routed = 0, fallbacks = 0, f2f = 0;
+  void add(const EdgeRoute& er) {
+    candidates += er.candidates;
+    if (er.routed) ++routed;
+    if (er.fallback) ++fallbacks;
+    f2f += er.f2f;
+  }
+  void flush(bool committed) const {
+    RouteCounters& rc = RouteCounters::get();
+    rc.edge_candidates.add(candidates);
+    rc.edges_routed.add(routed);
+    if (fallbacks) rc.mls_fallbacks.add(fallbacks);
+    if (committed && f2f) rc.f2f_committed.add(f2f);
+  }
+};
+
+// Appends the per-edge value diff of one net to `out`. Edges present on only
+// one side (topology grew or shrank) count as changed.
+void diff_edges(Id net, const std::vector<EdgeRoute>& before,
+                const std::vector<EdgeRoute>& after, std::vector<EdgeRef>& out) {
+  const std::size_t n = std::max(before.size(), after.size());
+  for (std::size_t e = 0; e < n; ++e) {
+    const bool changed = e >= before.size() || e >= after.size() || !(before[e] == after[e]);
+    if (changed) out.push_back(EdgeRef{net, static_cast<std::uint32_t>(e)});
+  }
 }
 
 }  // namespace
@@ -85,310 +95,42 @@ Router::Router(const netlist::Design& design, const tech::Tech3D& tech,
   }
 }
 
-NetRoute Router::route_net(Id net_id, bool mls, bool commit) {
-  const netlist::Netlist& nl = design_.nl;
-  const netlist::Net& net = nl.net(net_id);
-  NetRoute out;
-  out.sink_elmore_ps.assign(net.sinks.size(), 0.0f);
-  if (net.driver == kNullId || net.sinks.empty()) return out;
+void Router::reset_state(const std::vector<std::uint8_t>& mls_flags) {
+  const std::size_t n = design_.nl.num_nets();
+  grid_.clear_usage();
+  routes_.assign(n, NetRoute{});
+  topo_.assign(n, NetTopology{});
+  edge_routes_.assign(n, {});
+  // clear(), not assign: keeps the outer vector's slots alive so repeat
+  // route_all calls (every evaluate) reuse the per-net allocations.
+  commits_.resize(n);
+  for (NetCommit& c : commits_) c.edges.clear();
+  history_.clear();
+  mls_flags_ = mls_flags;
+}
 
-  // ---- terminals -----------------------------------------------------------
-  std::vector<Terminal> terms;
-  terms.reserve(net.sinks.size() + 1);
-  {
-    const netlist::CellInst& dc = nl.cell(nl.pin(net.driver).cell);
-    terms.push_back(Terminal{dc.x_um, dc.y_um, dc.tier, 0.0f});
+NetRoute Router::route_net(Id net, bool mls, bool commit) {
+  NetTopology topo = build_net_topology(design_, tech_, net);
+  const std::size_t ne = topo.num_edges();
+  std::vector<EdgeRoute> edges(ne);
+  const EdgeCostModel model{grid_, tech_, options_, history_or_null()};
+  if (commit) commits_[net].edges.assign(ne, EdgeCommit{});
+  EdgeTally tally;
+  for (std::size_t e = 0; e < ne; ++e) {
+    const Terminal& a = topo.terms[static_cast<std::size_t>(topo.parent[e + 1])];
+    const Terminal& b = topo.terms[e + 1];
+    edges[e] = route_edge(model, a, b, mls);
+    tally.add(edges[e]);
+    // Immediate commit: the next edge of this net (and every later net)
+    // sees this edge's congestion — the serial Gauss-Seidel discipline.
+    if (commit) commit_edge(grid_, edges[e], &commits_[net].edges[e]);
   }
-  for (Id sp : net.sinks) {
-    const netlist::CellInst& sc = nl.cell(nl.pin(sp).cell);
-    const tech::Library& lib = (sc.tier == 0) ? tech_.bottom : tech_.top;
-    terms.push_back(Terminal{sc.x_um, sc.y_um, sc.tier, //
-                             static_cast<float>(lib.cell(sc.kind).input_cap_ff)});
+  NetRoute out = assemble_net_route(design_.nl, net, topo, edges);
+  tally.flush(commit);
+  if (commit) {
+    topo_[net] = std::move(topo);
+    edge_routes_[net] = std::move(edges);
   }
-  const std::size_t n = terms.size();
-
-  // ---- driver-rooted spanning tree (Prim, Manhattan metric) ---------------
-  std::vector<int> parent(n, -1);
-  std::vector<double> best(n, std::numeric_limits<double>::infinity());
-  std::vector<bool> in_tree(n, false);
-  best[0] = 0.0;
-  for (std::size_t round = 0; round < n; ++round) {
-    std::size_t u = n;
-    double u_best = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n; ++i)
-      if (!in_tree[i] && best[i] < u_best) {
-        u_best = best[i];
-        u = i;
-      }
-    if (u == n) break;
-    in_tree[u] = true;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (in_tree[v]) continue;
-      const double d = std::abs(terms[u].x - terms[v].x) + std::abs(terms[u].y - terms[v].y);
-      if (d < best[v]) {
-        best[v] = d;
-        parent[v] = static_cast<int>(u);
-      }
-    }
-  }
-
-  // ---- route each tree edge ------------------------------------------------
-  // Per-edge electrical results, used for Elmore afterwards.
-  std::vector<double> edge_res(n, 0.0), edge_cap(n, 0.0);
-
-  // Batched per-net observability tallies, flushed once before returning.
-  std::uint64_t n_candidates = 0, n_edges = 0, n_fallbacks = 0, n_f2f_committed = 0;
-
-  const double g = grid_.gcell_um();
-  const double penalty_w = options_.congestion_penalty_ps;
-
-  // Walks the two segments of an L-route and returns (sum congestion
-  // penalty, max overflow, gcell count). If `commit`, also adds usage.
-  auto walk = [&](int tier, int hlayer, int vlayer, int gx1, int gy1, int gx2, int gy2,
-                  bool do_commit, double* max_over) -> double {
-    double penalty = 0.0;
-    *max_over = 0.0;
-    auto visit = [&](int layer, int x, int y) {
-      const double cong = grid_.congestion(tier, layer, x, y);
-      penalty += penalty_w * cong * cong;
-      *max_over = std::max(*max_over, cong);
-      if (do_commit) {
-        const std::size_t i = grid_.track_index(tier, layer, x, y);
-        grid_.add_usage_at(i, 1.0f);
-        if (commit_rec_) commit_rec_->tracks.push_back(static_cast<std::uint32_t>(i));
-      }
-    };
-    const int xs = std::min(gx1, gx2), xe = std::max(gx1, gx2);
-    for (int x = xs; x <= xe; ++x) visit(hlayer, x, gy1);
-    const int ys = std::min(gy1, gy2), ye = std::max(gy1, gy2);
-    for (int y = ys; y <= ye; ++y) visit(vlayer, y == gy1 ? gx2 : gx2, y);
-    return penalty;
-  };
-
-  for (std::size_t v = 1; v < n; ++v) {
-    const int u = parent[v];
-    if (u < 0) continue;
-    const Terminal& a = terms[static_cast<std::size_t>(u)];
-    const Terminal& b = terms[v];
-    const double len = std::abs(a.x - b.x) + std::abs(a.y - b.y) + 0.5 * g;
-    const int gx1 = grid_.gx(a.x), gy1 = grid_.gy(a.y);
-    const int gx2 = grid_.gx(b.x), gy2 = grid_.gy(b.y);
-
-    const bool cross_tier = a.tier != b.tier;
-    const bool force_shared = mls && !cross_tier && len >= options_.min_mls_edge_um;
-
-    // Enumerate candidates.
-    std::vector<EdgeChoice> candidates;
-    auto consider = [&](int route_tier, int layer_lo, int f2f, bool shared) {
-      const tech::BeolStack& stack =
-          (route_tier == 0) ? tech_.beol_bottom : tech_.beol_top;
-      if (layer_lo + 1 >= stack.num_layers()) return;
-      EdgeChoice c;
-      c.route_tier = route_tier;
-      c.layer_lo = layer_lo;
-      c.f2f = f2f;
-      c.shared = shared;
-      // Split length across the pair by orientation.
-      const double len_h = std::abs(a.x - b.x) + 0.25 * g;
-      const double len_v = std::abs(a.y - b.y) + 0.25 * g;
-      const tech::MetalLayer& l0 = stack.layer(layer_lo);
-      const tech::MetalLayer& l1 = stack.layer(layer_lo + 1);
-      const tech::MetalLayer& lh = (l0.dir == tech::LayerDir::kHorizontal) ? l0 : l1;
-      const tech::MetalLayer& lv = (l0.dir == tech::LayerDir::kHorizontal) ? l1 : l0;
-      c.wl_um = len_h + len_v;
-      c.res_ohm = len_h * lh.r_ohm_per_um + len_v * lv.r_ohm_per_um;
-      c.cap_ff = len_h * lh.c_ff_per_um + len_v * lv.c_ff_per_um;
-      // Via stacks at both ends: from device level up to the pair.
-      const tech::BeolStack& a_stack = (a.tier == 0) ? tech_.beol_bottom : tech_.beol_top;
-      const tech::BeolStack& b_stack = (b.tier == 0) ? tech_.beol_bottom : tech_.beol_top;
-      int vias = 0;
-      double via_r = 0.0, via_c = 0.0;
-      auto add_stack = [&](const tech::BeolStack& s, int levels) {
-        vias += levels;
-        via_r += levels * s.via_r_ohm;
-        via_c += levels * s.via_c_ff;
-      };
-      if (f2f == 0) {
-        add_stack(stack, layer_lo + 1);
-        add_stack(stack, layer_lo + 1);
-      } else {
-        // Each endpoint that is NOT on the routing tier climbs its own full
-        // stack to the bond interface; endpoints on the routing tier climb
-        // to the routing pair. (F2F bonding joins the two top layers.)
-        const int to_pair = layer_lo + 1;
-        const int a_levels = (a.tier == route_tier) ? to_pair : a_stack.num_layers() - 1;
-        const int b_levels = (b.tier == route_tier) ? to_pair : b_stack.num_layers() - 1;
-        add_stack(a.tier == route_tier ? stack : a_stack, a_levels);
-        add_stack(b.tier == route_tier ? stack : b_stack, b_levels);
-        // Hop(s) down from the bond interface to the routing pair on the
-        // routing tier.
-        const int down = stack.num_layers() - 1 - (layer_lo + 1);
-        if (a.tier != route_tier || shared) add_stack(stack, std::max(down, 0));
-      }
-      c.res_ohm += via_r + f2f * tech_.f2f.r_ohm;
-      c.cap_ff += via_c + f2f * tech_.f2f.c_ff;
-      (void)vias;
-      // Congestion along the L.
-      const tech::MetalLayer* lo_is_h =
-          (l0.dir == tech::LayerDir::kHorizontal) ? &l0 : &l1;
-      const int hlayer = (lo_is_h == &l0) ? layer_lo : layer_lo + 1;
-      const int vlayer = (lo_is_h == &l0) ? layer_lo + 1 : layer_lo;
-      double max_over = 0.0;
-      const double penalty =
-          walk(route_tier, hlayer, vlayer, gx1, gy1, gx2, gy2, false, &max_over);
-      double f2f_penalty = 0.0;
-      if (f2f > 0) {
-        const double fc = grid_.f2f_congestion(gx1, gy1) + grid_.f2f_congestion(gx2, gy2);
-        f2f_penalty = penalty_w * 2.0 * fc * fc;
-      }
-      c.overflow = max_over;
-      // Cost: Elmore-ish delay estimate + congestion penalties. kOhm*fF = ps.
-      const double drive_r_kohm = 1.5;  // nominal comparator driver
-      c.cost_ps = 1e-3 * (drive_r_kohm * 1e3 * c.cap_ff + c.res_ohm * (c.cap_ff * 0.5 + 2.0)) +
-                  penalty + f2f_penalty;
-      candidates.push_back(c);
-    };
-
-    if (force_shared) {
-      // Targeted routing: the edge uses the other tier's shared layers —
-      // unless they are already full there, in which case a real router
-      // falls back to native metal rather than overflowing the bond pads.
-      const int other = a.tier == 0 ? 1 : 0;
-      const int top = grid_.num_layers(other) - 1;
-      for (int k = 0; k < options_.shared_layers; ++k) {
-        const int lo = top - 1 - k;
-        if (lo >= 1) consider(other, lo, 2, true);
-      }
-      bool shared_fits = false;
-      for (const EdgeChoice& c : candidates)
-        if (c.overflow < 1.0) shared_fits = true;
-      if (!shared_fits) {
-        ++n_fallbacks;
-        candidates.clear();
-        const int nl_t = grid_.num_layers(a.tier);
-        for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
-      }
-    } else if (cross_tier) {
-      // Choose which tier carries the wire; one F2F either way.
-      for (int tier = 0; tier < 2; ++tier) {
-        const int nl_t = grid_.num_layers(tier);
-        for (int lo = 1; lo + 1 < nl_t; ++lo) consider(tier, lo, 1, false);
-      }
-    } else {
-      const int nl_t = grid_.num_layers(a.tier);
-      for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
-    }
-    n_candidates += candidates.size();
-    if (candidates.empty()) continue;
-    ++n_edges;
-    const EdgeChoice& pick = *std::min_element(
-        candidates.begin(), candidates.end(),
-        [](const EdgeChoice& x, const EdgeChoice& y) { return x.cost_ps < y.cost_ps; });
-
-    // Detour inflation when the chosen route is through overfull regions.
-    const double over = std::max(0.0, pick.overflow - 1.0);
-    const double detour = std::min(options_.max_detour, 1.0 + 0.5 * over);
-    const double res = pick.res_ohm * detour;
-    const double cap = pick.cap_ff * detour;
-
-    edge_res[v] = res;
-    edge_cap[v] = cap;
-    out.wl_um += static_cast<float>(pick.wl_um * detour);
-    out.res_ohm += static_cast<float>(res);
-    out.cap_ff += static_cast<float>(cap);
-    out.detour = std::max(out.detour, static_cast<float>(detour));
-    out.worst_overflow = std::max(out.worst_overflow, static_cast<float>(pick.overflow));
-    out.layers_used[pick.route_tier] |= static_cast<std::uint8_t>(0x3u << pick.layer_lo);
-    if (pick.f2f > 0) {
-      out.f2f_vias = static_cast<std::uint8_t>(
-          std::min<int>(255, out.f2f_vias + pick.f2f));
-      if (pick.shared) out.mls_applied = true;
-    }
-    if (commit) {
-      const tech::BeolStack& stack =
-          (pick.route_tier == 0) ? tech_.beol_bottom : tech_.beol_top;
-      const tech::MetalLayer& l0 = stack.layer(pick.layer_lo);
-      const int hlayer =
-          (l0.dir == tech::LayerDir::kHorizontal) ? pick.layer_lo : pick.layer_lo + 1;
-      const int vlayer =
-          (l0.dir == tech::LayerDir::kHorizontal) ? pick.layer_lo + 1 : pick.layer_lo;
-      double dummy = 0.0;
-      walk(pick.route_tier, hlayer, vlayer, gx1, gy1, gx2, gy2, true, &dummy);
-      if (pick.f2f > 0) {
-        n_f2f_committed += static_cast<std::uint64_t>(pick.f2f);
-        grid_.add_f2f(gx1, gy1, 1.0f);
-        if (commit_rec_)
-          commit_rec_->f2f.push_back(static_cast<std::uint32_t>(grid_.f2f_index(gx1, gy1)));
-        if (pick.f2f > 1) {
-          grid_.add_f2f(gx2, gy2, 1.0f);
-          if (commit_rec_)
-            commit_rec_->f2f.push_back(static_cast<std::uint32_t>(grid_.f2f_index(gx2, gy2)));
-        }
-      }
-    }
-  }
-
-  // ---- Elmore delays --------------------------------------------------------
-  // cap_below[i] = capacitance of i's subtree (wire + pins), with each edge's
-  // own wire cap split half-and-half across its ends.
-  std::vector<double> cap_below(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) cap_below[i] = terms[i].pin_cap_ff;
-  // Children have larger indices than parents is NOT guaranteed by Prim's
-  // selection order, so accumulate leaf-to-root by repeated relaxation over
-  // the parent array (n is small per net).
-  {
-    std::vector<int> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::vector<int> depth(n, 0);
-    for (std::size_t i = 1; i < n; ++i) {
-      int d = 0;
-      for (int p = static_cast<int>(i); parent[static_cast<std::size_t>(p)] >= 0;
-           p = parent[static_cast<std::size_t>(p)])
-        ++d;
-      depth[i] = d;
-    }
-    std::sort(order.begin(), order.end(), [&](int x, int y) { return depth[static_cast<std::size_t>(x)] > depth[static_cast<std::size_t>(y)]; });
-    for (int i : order) {
-      const int p = parent[static_cast<std::size_t>(i)];
-      if (p < 0) continue;
-      cap_below[static_cast<std::size_t>(p)] +=
-          cap_below[static_cast<std::size_t>(i)] + edge_cap[static_cast<std::size_t>(i)];
-    }
-  }
-  // Elmore at node = sum over path edges of R_edge * (C_edge/2 + cap_below).
-  std::vector<double> elmore(n, 0.0);
-  {
-    std::vector<int> order(n);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int x, int y) {
-      // Parents before children: root (parent -1) first, then by tree depth.
-      auto depth_of = [&](int v2) {
-        int d = 0;
-        for (int p = v2; parent[static_cast<std::size_t>(p)] >= 0;
-             p = parent[static_cast<std::size_t>(p)])
-          ++d;
-        return d;
-      };
-      return depth_of(x) < depth_of(y);
-    });
-    for (int i : order) {
-      const int p = parent[static_cast<std::size_t>(i)];
-      if (p < 0) continue;
-      const double r = edge_res[static_cast<std::size_t>(i)];
-      const double c = edge_cap[static_cast<std::size_t>(i)] * 0.5 +
-                       cap_below[static_cast<std::size_t>(i)];
-      elmore[static_cast<std::size_t>(i)] = elmore[static_cast<std::size_t>(p)] + 1e-3 * r * c;
-    }
-  }
-  for (std::size_t s = 0; s < net.sinks.size(); ++s)
-    out.sink_elmore_ps[s] = static_cast<float>(elmore[s + 1]);
-  out.load_ff = static_cast<float>(cap_below[0]);
-
-  RouteCounters& rc = RouteCounters::get();
-  rc.edge_candidates.add(n_candidates);
-  rc.edges_routed.add(n_edges);
-  if (n_fallbacks) rc.mls_fallbacks.add(n_fallbacks);
-  if (n_f2f_committed) rc.f2f_committed.add(n_f2f_committed);
   return out;
 }
 
@@ -396,7 +138,7 @@ std::vector<Id> Router::route_order(const std::vector<std::uint8_t>& mls_flags) 
   // Order: MLS nets first (targeted routing reserves their shared tracks),
   // longest first; then the rest, shortest first (locality preservation).
   // The net-id tie-break makes the order a total function of (flags, hpwl),
-  // which is what lets RerouteMode::kReplay reproduce route_all exactly.
+  // which is what makes both engines deterministic.
   const netlist::Netlist& nl = design_.nl;
   std::vector<Id> order(nl.num_nets());
   std::iota(order.begin(), order.end(), 0u);
@@ -423,42 +165,83 @@ RouteSummary Router::summarize() const {
 }
 
 void Router::rip_up(Id net) {
-  NetCommit& c = commits_[net];
-  for (const std::uint32_t i : c.tracks) grid_.add_usage_at(i, -1.0f);
-  for (const std::uint32_t i : c.f2f) grid_.add_f2f_at(i, -1.0f);
-  c.tracks.clear();
-  c.f2f.clear();
+  for (EdgeCommit& c : commits_[net].edges) uncommit_edge(grid_, c);
+  commits_[net].edges.clear();
+  edge_routes_[net].clear();
+  topo_[net] = NetTopology{};
   routes_[net] = NetRoute{};
 }
 
-RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
-  GNNMLS_SPAN("route.route_all");
-  const netlist::Netlist& nl = design_.nl;
-  grid_.clear_usage();
-  routes_.assign(nl.num_nets(), NetRoute{});
-  // clear(), not assign: keeps every footprint vector's capacity, so repeat
-  // route_all calls (every evaluate) record commits allocation-free.
-  commits_.resize(nl.num_nets());
-  for (NetCommit& c : commits_) {
-    c.tracks.clear();
-    c.f2f.clear();
-  }
-  mls_flags_ = mls_flags;
-
-  for (Id net : route_order(mls_flags_)) {
-    GNNMLS_FAULT_POINT("route.net");
-    commit_rec_ = &commits_[net];
-    routes_[net] = route_net(net, flag_of(mls_flags_, net), /*commit=*/true);
-    commit_rec_ = nullptr;
-  }
-  routed_revision_ = nl.revision();
-  const RouteSummary summary = summarize();
-  RouteCounters::get().nets_routed.add(nl.num_nets());
+void Router::finish_route_all(RouteSummary& summary) {
+  routed_revision_ = design_.nl.revision();
+  RouteCounters::get().nets_routed.add(design_.nl.num_nets());
   obs::Metrics::instance().gauge("route.overflow_gcells")
       .set(static_cast<double>(summary.census.overflow_gcells));
   obs::Metrics::instance().gauge("route.wl_m").set(summary.total_wl_m);
   util::log_debug("router: WL ", summary.total_wl_m, " m, MLS nets ", summary.mls_nets,
                   ", overflow gcells ", summary.census.overflow_gcells);
+}
+
+RouteSummary Router::route_all(const std::vector<std::uint8_t>& mls_flags) {
+  return options_.negotiate ? route_all_negotiated(mls_flags) : route_all_serial(mls_flags);
+}
+
+RouteSummary Router::route_all_serial(const std::vector<std::uint8_t>& mls_flags) {
+  GNNMLS_SPAN("route.route_all");
+  reset_state(mls_flags);
+  for (Id net : route_order(mls_flags_)) {
+    GNNMLS_FAULT_POINT("route.net");
+    routes_[net] = route_net(net, flag_of(mls_flags_, net), /*commit=*/true);
+  }
+  RouteSummary summary = summarize();
+  finish_route_all(summary);
+  return summary;
+}
+
+RouteSummary Router::route_all_negotiated(const std::vector<std::uint8_t>& mls_flags) {
+  GNNMLS_SPAN("route.route_all");
+  reset_state(mls_flags);
+  history_.assign(grid_.num_track_cells(), 0.0f);
+
+  // ---- phase 0: decompose every net into 2-pin edges ----------------------
+  // The edge list is emitted in route order, so "earlier in the list" means
+  // "higher routing priority" — within a shard bucket, MLS edges route and
+  // commit before the native ones exactly as in the serial engine.
+  std::vector<EdgeTask> tasks;
+  {
+    GNNMLS_SPAN("route.decompose");
+    for (Id net : route_order(mls_flags_)) {
+      GNNMLS_FAULT_POINT("route.net");
+      NetTopology topo = build_net_topology(design_, tech_, net);
+      const std::size_t ne = topo.num_edges();
+      edge_routes_[net].assign(ne, EdgeRoute{});
+      commits_[net].edges.assign(ne, EdgeCommit{});
+      const bool mls = flag_of(mls_flags_, net);
+      for (std::uint32_t e = 0; e < ne; ++e) {
+        tasks.push_back(EdgeTask{net, e,
+                                 topo.terms[static_cast<std::size_t>(topo.parent[e + 1])],
+                                 topo.terms[e + 1], mls});
+      }
+      topo_[net] = std::move(topo);
+    }
+  }
+
+  // ---- phases 1+2: sharded routing + negotiation --------------------------
+  const NegotiationStats stats = route_negotiated(
+      NegotiationInput{grid_, tech_, options_, tasks, history_, edge_routes_, commits_});
+
+  // ---- assemble per-net electrical models ---------------------------------
+  EdgeTally tally;
+  for (Id net = 0; net < design_.nl.num_nets(); ++net) {
+    routes_[net] = assemble_net_route(design_.nl, net, topo_[net], edge_routes_[net]);
+    for (const EdgeRoute& er : edge_routes_[net]) tally.add(er);
+  }
+  tally.flush(/*committed=*/true);
+
+  RouteSummary summary = summarize();
+  summary.negotiation_iters = stats.iterations;
+  summary.negotiation_ripups = stats.ripups;
+  finish_route_all(summary);
   return summary;
 }
 
@@ -469,61 +252,83 @@ RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty,
   const netlist::Netlist& nl = design_.nl;
   const std::size_t n = nl.num_nets();
   const std::size_t old_n = routes_.size();
-  const std::vector<std::uint8_t> old_flags = mls_flags_;
-  routes_.resize(n);
-  commits_.resize(n);
 
   // Dirty set: the caller's nets plus everything added since the last route.
   std::vector<std::uint8_t> is_dirty(n, 0);
+  bool any_dirty = n > old_n;
   for (const Id d : dirty)
-    if (d < n) is_dirty[d] = 1;
+    if (d < n) {
+      is_dirty[d] = 1;
+      any_dirty = true;
+    }
+
+  if (mode == RerouteMode::kReplay) {
+    if (!any_dirty) return summarize();  // nothing dirty: exact no-op
+    // Bit-exact repair = full deterministic re-run under the new flags; the
+    // summary carries the exact value diff against the previous state. (See
+    // the RerouteMode::kReplay comment for why the suffix-replay shortcut
+    // no longer exists under negotiation.)
+    std::vector<NetRoute> before_routes = std::move(routes_);
+    std::vector<std::vector<EdgeRoute>> before_edges = std::move(edge_routes_);
+    {
+      RouteCounters& rc = RouteCounters::get();
+      rc.rip_ups.add(n);
+      rc.eco_reroutes.add(1);
+    }
+    RouteSummary summary = route_all(mls_flags);
+    const NetRoute empty_route;
+    const std::vector<EdgeRoute> empty_edges;
+    for (Id i = 0; i < n; ++i) {
+      const NetRoute& prev = i < before_routes.size() ? before_routes[i] : empty_route;
+      // A net is changed if its electrical value moved OR any of its edges
+      // was re-chosen (an edge can move between equal-cost cells without
+      // shifting the net totals; its grid footprint still changed, so the
+      // changed_edges ⊆ changed_nets contract must count the net).
+      const std::size_t edges_before = summary.changed_edges.size();
+      diff_edges(i, i < before_edges.size() ? before_edges[i] : empty_edges, edge_routes_[i],
+                 summary.changed_edges);
+      if (!net_route_equal(prev, routes_[i]) || summary.changed_edges.size() != edges_before)
+        summary.changed_nets.push_back(i);
+    }
+    util::log_debug("router: replay rerouted ", n, " nets (", summary.changed_nets.size(),
+                    " changed), WL ", summary.total_wl_m, " m");
+    return summary;
+  }
+
+  // ---- kEco: minimal rip-up against the surviving state -------------------
+  routes_.resize(n);
+  topo_.resize(n);
+  edge_routes_.resize(n);
+  commits_.resize(n);
   for (std::size_t i = old_n; i < n; ++i) is_dirty[i] = 1;
 
+  std::vector<Id> affected;
+  for (Id i = 0; i < n; ++i)
+    if (is_dirty[i]) affected.push_back(i);
+  if (affected.empty()) {
+    mls_flags_ = mls_flags;
+    routed_revision_ = nl.revision();
+    return summarize();
+  }
+
+  // Deterministic repair order = the route order restricted to the dirty set.
   std::vector<float> hpwl(n);
   for (Id i = 0; i < n; ++i) hpwl[i] = static_cast<float>(nl.net_hpwl_um(i));
-  auto less = [&](Id x, Id y, const std::vector<std::uint8_t>& flags) {
-    const bool fx = flag_of(flags, x), fy = flag_of(flags, y);
+  std::sort(affected.begin(), affected.end(), [&](Id x, Id y) {
+    const bool fx = flag_of(mls_flags, x), fy = flag_of(mls_flags, y);
     if (fx != fy) return fx;
     if (hpwl[x] != hpwl[y]) return fx ? hpwl[x] > hpwl[y] : hpwl[x] < hpwl[y];
     return x < y;
-  };
-
-  std::vector<Id> affected;
-  if (mode == RerouteMode::kReplay) {
-    // A net may keep its committed route only if NO dirty net precedes it in
-    // either the old or the new route order: then the congestion it was
-    // committed against is exactly what a clean-grid route_all(mls_flags)
-    // would present, and replaying the rest in order reproduces route_all
-    // bit for bit. (dmin_* are the earliest-ordered dirty nets; anything
-    // ordered after either of them gets ripped up and replayed.)
-    Id dmin_old = kNullId, dmin_new = kNullId;
-    for (Id i = 0; i < n; ++i) {
-      if (!is_dirty[i]) continue;
-      if (dmin_new == kNullId || less(i, dmin_new, mls_flags)) dmin_new = i;
-      if (i < old_n && (dmin_old == kNullId || less(i, dmin_old, old_flags))) dmin_old = i;
-    }
-    if (dmin_new == kNullId) return summarize();  // nothing dirty
-    for (Id i = 0; i < n; ++i) {
-      const bool keep = !is_dirty[i] &&
-                        (dmin_old == kNullId || less(i, dmin_old, old_flags)) &&
-                        less(i, dmin_new, mls_flags);
-      if (!keep) affected.push_back(i);
-    }
-  } else {
-    for (Id i = 0; i < n; ++i)
-      if (is_dirty[i]) affected.push_back(i);
-    if (affected.empty()) {
-      mls_flags_ = mls_flags;
-      routed_revision_ = nl.revision();
-      return summarize();
-    }
-  }
-  std::sort(affected.begin(), affected.end(),
-            [&](Id x, Id y) { return less(x, y, mls_flags); });
+  });
 
   std::vector<NetRoute> before;
+  std::vector<std::vector<EdgeRoute>> before_edges;
   before.reserve(affected.size());
-  for (const Id i : affected) before.push_back(routes_[i]);
+  before_edges.reserve(affected.size());
+  for (const Id i : affected) {
+    before.push_back(routes_[i]);
+    before_edges.push_back(edge_routes_[i]);
+  }
 
   {
     RouteCounters& rc = RouteCounters::get();
@@ -534,16 +339,19 @@ RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty,
   mls_flags_ = mls_flags;
   for (const Id i : affected) {
     GNNMLS_FAULT_POINT("route.net");
-    commit_rec_ = &commits_[i];
     routes_[i] = route_net(i, flag_of(mls_flags_, i), /*commit=*/true);
-    commit_rec_ = nullptr;
   }
   routed_revision_ = nl.revision();
 
   RouteSummary summary = summarize();
-  for (std::size_t k = 0; k < affected.size(); ++k)
-    if (!net_route_equal(before[k], routes_[affected[k]]))
+  for (std::size_t k = 0; k < affected.size(); ++k) {
+    const std::size_t edges_before = summary.changed_edges.size();
+    diff_edges(affected[k], before_edges[k], edge_routes_[affected[k]],
+               summary.changed_edges);
+    if (!net_route_equal(before[k], routes_[affected[k]]) ||
+        summary.changed_edges.size() != edges_before)
       summary.changed_nets.push_back(affected[k]);
+  }
   util::log_debug("router: rerouted ", affected.size(), " nets (", summary.changed_nets.size(),
                   " changed), WL ", summary.total_wl_m, " m");
   return summary;
@@ -554,22 +362,104 @@ RouteSummary Router::reroute_nets(std::span<const netlist::Id> dirty, RerouteMod
 }
 
 Router::Checkpoint Router::checkpoint() const {
-  return Checkpoint{routes_, commits_, mls_flags_, routed_revision_, grid_.usage_state()};
+  Checkpoint cp;
+  cp.routes = routes_;
+  const std::size_t n = routes_.size();
+  std::size_t n_terms = 0, n_edges = 0, n_commit_edges = 0, n_tracks = 0, n_f2f = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    n_terms += topo_[i].terms.size();
+    n_edges += edge_routes_[i].size();
+    n_commit_edges += commits_[i].edges.size();
+    for (const EdgeCommit& ec : commits_[i].edges) {
+      n_tracks += ec.tracks.size();
+      n_f2f += ec.f2f.size();
+    }
+  }
+  cp.term_count.reserve(n);
+  cp.terms.reserve(n_terms);
+  cp.parents.reserve(n_terms);
+  cp.edge_count.reserve(n);
+  cp.edge_routes.reserve(n_edges);
+  cp.commit_edge_count.reserve(n);
+  cp.track_count.reserve(n_commit_edges);
+  cp.f2f_count.reserve(n_commit_edges);
+  cp.tracks.reserve(n_tracks);
+  cp.f2f.reserve(n_f2f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NetTopology& t = topo_[i];
+    cp.term_count.push_back(static_cast<std::uint32_t>(t.terms.size()));
+    cp.terms.insert(cp.terms.end(), t.terms.begin(), t.terms.end());
+    cp.parents.insert(cp.parents.end(), t.parent.begin(), t.parent.end());
+    cp.edge_count.push_back(static_cast<std::uint32_t>(edge_routes_[i].size()));
+    cp.edge_routes.insert(cp.edge_routes.end(), edge_routes_[i].begin(), edge_routes_[i].end());
+    cp.commit_edge_count.push_back(static_cast<std::uint32_t>(commits_[i].edges.size()));
+    for (const EdgeCommit& ec : commits_[i].edges) {
+      cp.track_count.push_back(static_cast<std::uint32_t>(ec.tracks.size()));
+      cp.f2f_count.push_back(static_cast<std::uint32_t>(ec.f2f.size()));
+      cp.tracks.insert(cp.tracks.end(), ec.tracks.begin(), ec.tracks.end());
+      cp.f2f.insert(cp.f2f.end(), ec.f2f.begin(), ec.f2f.end());
+    }
+  }
+  cp.history = history_;
+  cp.mls_flags = mls_flags_;
+  cp.routed_revision = routed_revision_;
+  cp.grid = grid_.usage_state();
+  return cp;
 }
 
 void Router::restore(const Checkpoint& cp) {
   routes_ = cp.routes;
-  commits_ = cp.commits;
+  const std::size_t n = cp.routes.size();
+  topo_.assign(n, NetTopology{});
+  edge_routes_.assign(n, {});
+  commits_.assign(n, NetCommit{});
+  std::size_t term_at = 0, edge_at = 0, commit_at = 0, track_at = 0, f2f_at = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t nt = cp.term_count[i];
+    topo_[i].terms.assign(cp.terms.begin() + static_cast<std::ptrdiff_t>(term_at),
+                          cp.terms.begin() + static_cast<std::ptrdiff_t>(term_at + nt));
+    topo_[i].parent.assign(cp.parents.begin() + static_cast<std::ptrdiff_t>(term_at),
+                           cp.parents.begin() + static_cast<std::ptrdiff_t>(term_at + nt));
+    term_at += nt;
+    const std::size_t ne = cp.edge_count[i];
+    edge_routes_[i].assign(cp.edge_routes.begin() + static_cast<std::ptrdiff_t>(edge_at),
+                           cp.edge_routes.begin() + static_cast<std::ptrdiff_t>(edge_at + ne));
+    edge_at += ne;
+    const std::size_t nc = cp.commit_edge_count[i];
+    commits_[i].edges.resize(nc);
+    for (std::size_t e = 0; e < nc; ++e) {
+      const std::size_t ntr = cp.track_count[commit_at];
+      const std::size_t nf = cp.f2f_count[commit_at];
+      ++commit_at;
+      commits_[i].edges[e].tracks.assign(
+          cp.tracks.begin() + static_cast<std::ptrdiff_t>(track_at),
+          cp.tracks.begin() + static_cast<std::ptrdiff_t>(track_at + ntr));
+      track_at += ntr;
+      commits_[i].edges[e].f2f.assign(cp.f2f.begin() + static_cast<std::ptrdiff_t>(f2f_at),
+                                      cp.f2f.begin() + static_cast<std::ptrdiff_t>(f2f_at + nf));
+      f2f_at += nf;
+    }
+  }
+  history_ = cp.history;
   mls_flags_ = cp.mls_flags;
   routed_revision_ = cp.routed_revision;
   grid_.restore_usage(cp.grid);
-  commit_rec_ = nullptr;  // a mid-route failure may have left it dangling
 }
 
 NetRoute Router::trial_route(Id net, bool mls) const {
   RouteCounters::get().trial_routes.add(1);
-  // route_net(commit=false) doesn't mutate; cast away const for code reuse.
-  return const_cast<Router*>(this)->route_net(net, mls, /*commit=*/false);
+  const NetTopology topo = build_net_topology(design_, tech_, net);
+  const EdgeCostModel model{grid_, tech_, options_, history_or_null()};
+  std::vector<EdgeRoute> edges(topo.num_edges());
+  EdgeTally tally;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const Terminal& a = topo.terms[static_cast<std::size_t>(topo.parent[e + 1])];
+    const Terminal& b = topo.terms[e + 1];
+    edges[e] = route_edge(model, a, b, mls);
+    tally.add(edges[e]);
+  }
+  tally.flush(/*committed=*/false);
+  return assemble_net_route(design_.nl, net, topo, edges);
 }
 
 std::string Router::describe_layers(const NetRoute& r) {

@@ -1,10 +1,28 @@
 // Congestion- and MLS-aware global router.
 //
-// For every net the router builds a driver-rooted spanning tree over the
-// pins, routes each tree edge as an L-shape on a chosen metal-layer pair, and
-// produces the net's electrical model (total load capacitance plus per-sink
-// Elmore delay) consumed by STA. Layer-pair selection is cost-driven:
-// wire RC delay + via-stack resistance + congestion penalty, so short nets
+// The router is a three-phase engine (ROADMAP item 2, the nthu-route
+// Route_2pinnets / RangeRouter structure):
+//
+//   1. decompose — every net becomes a driver-rooted spanning tree of 2-pin
+//      edges (route/topology.hpp), the atomic routing unit;
+//   2. shard — the gcell plane is tessellated into regions with halo
+//      overlap and each shard's edges are routed as independent tasks on
+//      flow::Executor under the GNNMLS_THREADS discipline
+//      (route/shard.hpp);
+//   3. negotiate — a deterministic PathFinder-style loop rips up the edges
+//      crossing congested ranges and reroutes them with history-based
+//      congestion costs until overflow converges or an iteration cap hits
+//      (route/negotiate.hpp).
+//
+// Results are bit-identical at any thread count: workers only compute edge
+// routes from frozen snapshots into disjoint slots, and every grid commit
+// happens serially in an order derived from the deterministic route order.
+// RouterOptions::negotiate = false selects the legacy single-pass serial
+// engine (also the degradation target when negotiation overruns its
+// watchdog budget).
+//
+// Layer-pair selection per edge is cost-driven: wire RC delay + via-stack
+// resistance + congestion penalty (+ negotiated history), so short nets
 // gravitate to thin lower metals and long nets to fat upper metals exactly
 // as in a commercial flow's layer assignment.
 //
@@ -26,6 +44,7 @@
 
 #include "netlist/generators.hpp"
 #include "route/grid.hpp"
+#include "route/topology.hpp"
 #include "tech/tech.hpp"
 
 namespace gnnmls::route {
@@ -49,6 +68,25 @@ struct RouterOptions {
   double max_detour = 2.5;
   // How many of the other tier's top layers MLS may use (paper: M5-6).
   int shared_layers = 2;
+
+  // ---- sharded negotiated engine (route/negotiate.hpp) --------------------
+  // false selects the legacy single-pass serial engine (route_all_serial).
+  bool negotiate = true;
+  // Shard side length in gcells for the initial parallel routing phase.
+  int shard_gcells = 16;
+  // Overflow-mask dilation: edges within this many gcells of a congested
+  // range are negotiation rip-up victims (the shard halo overlap).
+  int halo_gcells = 2;
+  // Negotiation loop bounds.
+  int max_negotiation_iters = 8;
+  // Stop after this many consecutive iterations without strict improvement.
+  int stagnation_limit = 2;
+  // History cost added per unit of overflow per iteration (ps per visit).
+  double history_gain_ps = 1.5;
+  // Cooperative wall-clock watchdog for decompose+shard+negotiate: when
+  // > 0, overrunning it throws a retryable ft::FlowError(kTimeout), which
+  // RoutePass degrades into a serial route_all. 0 disables the budget.
+  double negotiation_budget_s = 0.0;
 };
 
 // Electrical + physical result for one routed net.
@@ -70,27 +108,41 @@ struct RouteSummary {
   std::size_t mls_nets = 0;   // nets routed with shared layers
   std::size_t f2f_pairs = 0;  // F2F via count
   RoutingGrid::Census census;
-  // Filled by reroute_nets(): the nets whose NetRoute actually changed value
-  // (a replayed net that lands on an identical route is not listed). Feed
-  // this to TimingGraph::update(). Empty after route_all (everything moved).
+  // Delta contract: changed_nets/changed_edges are filled ONLY by
+  // reroute_nets() — the nets (and the 2-pin edges within them) whose
+  // routed value actually changed; a rerouted net that lands on an
+  // identical route is not listed. Feed changed_nets to
+  // TimingGraph::update(). After route_all() BOTH lists are empty by
+  // definition: a full route is a full invalidation, not a delta, and the
+  // route pass records it with DesignDB::RouteDelta::valid == false so no
+  // downstream consumer can mistake "empty" for "nothing changed".
+  // (Pinned by RouterDelta.RouteAllReportsNoDeltaRerouteReportsExact.)
   std::vector<netlist::Id> changed_nets;
+  std::vector<EdgeRef> changed_edges;
+  // Negotiation statistics of the producing route_all (0 for the serial
+  // engine and for reroute_nets' ECO repairs).
+  std::size_t negotiation_iters = 0;
+  std::size_t negotiation_ripups = 0;
 };
 
 // How reroute_nets repairs the routing state after an ECO.
 enum class RerouteMode {
   // Minimal rip-up: only the dirty (and any brand-new) nets are ripped up
-  // and re-routed against the surviving congestion state. Fast — cost scales
+  // and re-routed against the surviving congestion state (and, under the
+  // negotiated engine, the surviving history surface). Fast — cost scales
   // with the dirty set — but the result can differ from a from-scratch
   // route_all because rerouted nets see congestion out of order. This is the
   // ECO mode for netlist-changing passes (DFT/scan insertion), where
   // from-scratch equivalence is undefined anyway.
   kEco,
-  // Suffix replay: every net whose position in the deterministic route order
-  // could have observed a dirty net's resources is ripped up and replayed in
-  // order, so each replayed net sees exactly the congestion state it would
-  // see in a clean-grid route_all. Bit-exact with route_all by construction
-  // (the incremental-equivalence property test enforces this); requires an
-  // unchanged netlist.
+  // Bit-exact with route_all: the routing state is rebuilt by a full
+  // deterministic re-run under the new flags and the summary reports the
+  // exact value diff against the previous state. (The pre-negotiation
+  // engine replayed only the order suffix after the first dirty net; a
+  // negotiated result has no such suffix structure, so replay mode now
+  // re-runs the whole engine — equivalence with route_all holds by
+  // construction and the incremental-equivalence property test enforces
+  // it.) Requires an unchanged netlist.
   kReplay,
 };
 
@@ -99,9 +151,15 @@ class Router {
   Router(const netlist::Design& design, const tech::Tech3D& tech,
          const RouterOptions& options = {});
 
-  // Routes every net. mls_flags is per-net (empty = no MLS anywhere).
-  // Resets any previous routing state.
+  // Routes every net with the engine selected by options.negotiate.
+  // mls_flags is per-net (empty = no MLS anywhere). Resets any previous
+  // routing state, including the negotiation history.
   RouteSummary route_all(const std::vector<std::uint8_t>& mls_flags);
+  // The legacy single-pass engine: nets in deterministic route order, each
+  // edge committed as soon as it is chosen, no negotiation. Used as the
+  // degradation target when negotiation overruns its budget, and as the
+  // baseline of the nets/s benchmark.
+  RouteSummary route_all_serial(const std::vector<std::uint8_t>& mls_flags);
 
   // Incremental repair after `dirty` nets changed (connectivity, placement
   // of their pins, or their MLS flag). Nets added to the netlist since the
@@ -118,33 +176,48 @@ class Router {
   // detect an ECO that was not followed by a re-route.
   std::uint64_t routed_revision() const { return routed_revision_; }
 
-  // What-if route of one net against the CURRENT congestion state, without
-  // committing resources. Used by the labeler's per-net MLS trials.
+  // What-if route of one net against the CURRENT congestion state (and
+  // history surface), without committing resources. Used by the labeler's
+  // per-net MLS trials. Truly const: the edge router is pure with respect
+  // to the grid, so a trial can never leak usage — the zero-write audit
+  // property test pins this.
   NetRoute trial_route(netlist::Id net, bool mls) const;
 
   const NetRoute& net_route(netlist::Id net) const { return routes_[net]; }
   const std::vector<NetRoute>& routes() const { return routes_; }
+  // Per-net 2-pin decomposition and per-edge results of the last (re)route.
+  const NetTopology& net_topology(netlist::Id net) const { return topo_[net]; }
+  const std::vector<EdgeRoute>& net_edges(netlist::Id net) const { return edge_routes_[net]; }
   const RoutingGrid& grid() const { return grid_; }
   const RouterOptions& options() const { return options_; }
 
   // "M1-4(bot)+M6(top)" style rendering for Table I.
   static std::string describe_layers(const NetRoute& r);
 
-  // Grid resources one committed net holds: flat track-cell indices plus F2F
-  // pad cells, recorded at commit time so rip_up() can subtract them exactly.
-  struct NetCommit {
-    std::vector<std::uint32_t> tracks;
-    std::vector<std::uint32_t> f2f;
-  };
-
-  // Deep copy of every mutable routing artifact (routes, commit footprints,
-  // decision vector, grid usage, routed revision). checkpoint()/restore()
-  // bracket transactional pass execution: a pass that dies mid-route leaves
-  // partial grid usage and a prefix of committed nets, and restoring the
+  // Deep copy of every mutable routing artifact (routes, per-edge results
+  // and commit footprints, topologies, negotiation history, decision
+  // vector, grid usage, routed revision). checkpoint()/restore() bracket
+  // transactional pass execution: a pass that dies mid-route leaves partial
+  // grid usage and a prefix of committed edges, and restoring the
   // checkpoint makes the router bit-identical to its pre-dispatch state.
+  // The per-net nested containers (topologies, per-edge results, commit
+  // footprints) are serialized into a handful of contiguous arrays:
+  // checkpoint() runs on the hot path of every transactional wave, and flat
+  // packing makes it a few bulk copies instead of O(nets x edges) small
+  // allocations. restore() — the rare rollback path — pays the unpack.
   struct Checkpoint {
     std::vector<NetRoute> routes;
-    std::vector<NetCommit> commits;
+    std::vector<std::uint32_t> term_count;   // per net
+    std::vector<Terminal> terms;             // concatenated topology terminals
+    std::vector<int> parents;                // concatenated topology parents
+    std::vector<std::uint32_t> edge_count;   // per net
+    std::vector<EdgeRoute> edge_routes;      // concatenated per-edge results
+    std::vector<std::uint32_t> commit_edge_count;  // per net
+    std::vector<std::uint32_t> track_count;  // per concatenated commit edge
+    std::vector<std::uint32_t> f2f_count;    // per concatenated commit edge
+    std::vector<std::uint32_t> tracks;       // concatenated commit track cells
+    std::vector<std::uint32_t> f2f;          // concatenated commit F2F pads
+    std::vector<float> history;
     std::vector<std::uint8_t> mls_flags;
     std::uint64_t routed_revision = 0;
     RoutingGrid::UsageState grid;
@@ -153,8 +226,17 @@ class Router {
   void restore(const Checkpoint& cp);
 
  private:
+  // Clears grid usage + history and resizes every per-net artifact for the
+  // current netlist, installing `mls_flags` as the decision vector.
+  void reset_state(const std::vector<std::uint8_t>& mls_flags);
+  RouteSummary route_all_negotiated(const std::vector<std::uint8_t>& mls_flags);
+  // Re-decomposes and routes one net edge-by-edge against the current grid
+  // state (serial engine and ECO repairs). With commit, each edge's usage
+  // lands before the next edge is chosen and the footprints/topology are
+  // stored on the router.
   NetRoute route_net(netlist::Id net, bool mls, bool commit);
   void rip_up(netlist::Id net);
+  void finish_route_all(RouteSummary& summary);
   // Deterministic total route order for the given decisions (MLS nets first
   // by descending HPWL, then native ascending, net id as the tie-break).
   std::vector<netlist::Id> route_order(const std::vector<std::uint8_t>& mls_flags) const;
@@ -162,16 +244,21 @@ class Router {
   bool flag_of(const std::vector<std::uint8_t>& flags, netlist::Id net) const {
     return !flags.empty() && net < flags.size() && flags[net] != 0;
   }
+  const float* history_or_null() const {
+    return history_.empty() ? nullptr : history_.data();
+  }
 
   const netlist::Design& design_;
   const tech::Tech3D& tech_;
   RouterOptions options_;
   RoutingGrid grid_;
   std::vector<NetRoute> routes_;
-  std::vector<NetCommit> commits_;        // parallel to routes_
+  std::vector<NetTopology> topo_;                  // parallel to routes_
+  std::vector<std::vector<EdgeRoute>> edge_routes_;  // parallel to routes_
+  std::vector<NetCommit> commits_;                 // parallel to routes_
+  std::vector<float> history_;  // negotiated congestion history (may be empty)
   std::vector<std::uint8_t> mls_flags_;   // decisions of the last (re)route
   std::uint64_t routed_revision_ = 0;
-  NetCommit* commit_rec_ = nullptr;       // route_net() commit recording target
 };
 
 }  // namespace gnnmls::route

@@ -1,0 +1,69 @@
+#include "route/shard.hpp"
+
+#include <algorithm>
+
+namespace gnnmls::route {
+
+ShardMap::ShardMap(int nx, int ny, int shard_gcells)
+    : shard_gcells_(std::max(1, shard_gcells)) {
+  sx_ = std::max(1, (nx + shard_gcells_ - 1) / shard_gcells_);
+  sy_ = std::max(1, (ny + shard_gcells_ - 1) / shard_gcells_);
+}
+
+int ShardMap::shard_of_task(const RoutingGrid& grid, const EdgeTask& t) const {
+  const int gx = grid.gx(0.5 * (t.a.x + t.b.x));
+  const int gy = grid.gy(0.5 * (t.a.y + t.b.y));
+  return shard_of(gx, gy);
+}
+
+std::vector<std::vector<std::uint32_t>> bucket_edges(const ShardMap& shards,
+                                                     const RoutingGrid& grid,
+                                                     std::span<const EdgeTask> edges) {
+  std::vector<std::vector<std::uint32_t>> buckets(
+      static_cast<std::size_t>(shards.num_shards()));
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    const int s = shards.shard_of_task(grid, edges[i]);
+    buckets[static_cast<std::size_t>(s)].push_back(i);
+  }
+  return buckets;
+}
+
+namespace {
+
+// Marks a (2*halo+1)^2 box around (x, y) in one plane of `mask`.
+void mark_box(std::vector<std::uint8_t>& mask, std::size_t plane_base, int nx, int ny, int x,
+              int y, int halo) {
+  const int xs = std::max(0, x - halo), xe = std::min(nx - 1, x + halo);
+  const int ys = std::max(0, y - halo), ye = std::min(ny - 1, y + halo);
+  for (int yy = ys; yy <= ye; ++yy)
+    for (int xx = xs; xx <= xe; ++xx)
+      mask[plane_base + static_cast<std::size_t>(yy * nx + xx)] = 1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> overflow_mask(const RoutingGrid& grid, int halo) {
+  std::vector<std::uint8_t> mask(grid.num_track_cells(), 0);
+  const int nx = grid.nx(), ny = grid.ny();
+  for (int tier = 0; tier < 2; ++tier) {
+    for (int layer = 0; layer < grid.num_layers(tier); ++layer) {
+      const std::size_t plane_base = grid.track_index(tier, layer, 0, 0);
+      for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x)
+          if (grid.usage(tier, layer, x, y) > grid.capacity(tier, layer, x, y))
+            mark_box(mask, plane_base, nx, ny, x, y, halo);
+    }
+  }
+  return mask;
+}
+
+std::vector<std::uint8_t> f2f_overflow_mask(const RoutingGrid& grid, int halo) {
+  std::vector<std::uint8_t> mask(grid.num_f2f_cells(), 0);
+  const int nx = grid.nx(), ny = grid.ny();
+  for (int y = 0; y < ny; ++y)
+    for (int x = 0; x < nx; ++x)
+      if (grid.f2f_usage(x, y) > grid.f2f_capacity()) mark_box(mask, 0, nx, ny, x, y, halo);
+  return mask;
+}
+
+}  // namespace gnnmls::route

@@ -1,0 +1,343 @@
+#include "route/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "route/router.hpp"
+
+namespace gnnmls::route {
+
+namespace {
+
+using netlist::Id;
+using netlist::kNullId;
+
+// A candidate way to route one tree edge.
+struct EdgeChoice {
+  int route_tier = 0;     // tier whose metals carry the wire
+  int layer_lo = 1;       // layer pair (layer_lo, layer_lo + 1)
+  int hlayer = 1;         // horizontal member of the pair
+  int vlayer = 2;         // vertical member of the pair
+  int f2f = 0;            // F2F vias used (0, 1 = tier change, 2 = MLS round trip)
+  bool shared = false;    // true when this is an MLS shared-layer choice
+  double cost_ps = std::numeric_limits<double>::infinity();
+  double res_ohm = 0.0;
+  double cap_ff = 0.0;
+  double wl_um = 0.0;
+  double overflow = 0.0;  // max usage/capacity seen along the edge
+};
+
+}  // namespace
+
+NetTopology build_net_topology(const netlist::Design& design, const tech::Tech3D& tech,
+                               Id net_id) {
+  const netlist::Netlist& nl = design.nl;
+  const netlist::Net& net = nl.net(net_id);
+  NetTopology t;
+  if (net.driver == kNullId || net.sinks.empty()) return t;
+
+  // ---- terminals: driver first, then sinks in pin order --------------------
+  t.terms.reserve(net.sinks.size() + 1);
+  {
+    const netlist::CellInst& dc = nl.cell(nl.pin(net.driver).cell);
+    t.terms.push_back(Terminal{dc.x_um, dc.y_um, dc.tier, 0.0f});
+  }
+  for (Id sp : net.sinks) {
+    const netlist::CellInst& sc = nl.cell(nl.pin(sp).cell);
+    const tech::Library& lib = (sc.tier == 0) ? tech.bottom : tech.top;
+    t.terms.push_back(Terminal{sc.x_um, sc.y_um, sc.tier,
+                               static_cast<float>(lib.cell(sc.kind).input_cap_ff)});
+  }
+  const std::size_t n = t.terms.size();
+
+  // ---- driver-rooted spanning tree (Prim, Manhattan metric) ---------------
+  t.parent.assign(n, -1);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> in_tree(n, false);
+  best[0] = 0.0;
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t u = n;
+    double u_best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i)
+      if (!in_tree[i] && best[i] < u_best) {
+        u_best = best[i];
+        u = i;
+      }
+    if (u == n) break;
+    in_tree[u] = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d =
+          std::abs(t.terms[u].x - t.terms[v].x) + std::abs(t.terms[u].y - t.terms[v].y);
+      if (d < best[v]) {
+        best[v] = d;
+        t.parent[v] = static_cast<int>(u);
+      }
+    }
+  }
+  return t;
+}
+
+EdgeRoute route_edge(const EdgeCostModel& m, const Terminal& a, const Terminal& b,
+                     bool mls) {
+  EdgeRoute out;
+  const RoutingGrid& grid = m.grid;
+  const RouterOptions& opt = m.options;
+  const double g = grid.gcell_um();
+  const double penalty_w = opt.congestion_penalty_ps;
+  const double len = std::abs(a.x - b.x) + std::abs(a.y - b.y) + 0.5 * g;
+  const int gx1 = grid.gx(a.x), gy1 = grid.gy(a.y);
+  const int gx2 = grid.gx(b.x), gy2 = grid.gy(b.y);
+  out.gx1 = static_cast<std::uint16_t>(gx1);
+  out.gy1 = static_cast<std::uint16_t>(gy1);
+  out.gx2 = static_cast<std::uint16_t>(gx2);
+  out.gy2 = static_cast<std::uint16_t>(gy2);
+
+  const bool cross_tier = a.tier != b.tier;
+  const bool force_shared = mls && !cross_tier && len >= opt.min_mls_edge_um;
+
+  // Walks the two segments of the L-route read-only and returns the summed
+  // congestion (+ negotiated history) penalty and the max overflow seen.
+  auto walk_cost = [&](int tier, int hlayer, int vlayer, double* max_over) -> double {
+    double penalty = 0.0;
+    *max_over = 0.0;
+    auto visit = [&](int layer, int x, int y) {
+      const double cong = grid.congestion(tier, layer, x, y);
+      penalty += penalty_w * cong * cong;
+      if (m.history != nullptr) penalty += m.history[grid.track_index(tier, layer, x, y)];
+      *max_over = std::max(*max_over, cong);
+    };
+    const int xs = std::min(gx1, gx2), xe = std::max(gx1, gx2);
+    for (int x = xs; x <= xe; ++x) visit(hlayer, x, gy1);
+    const int ys = std::min(gy1, gy2), ye = std::max(gy1, gy2);
+    for (int y = ys; y <= ye; ++y) visit(vlayer, gx2, y);
+    return penalty;
+  };
+
+  std::vector<EdgeChoice> candidates;
+  auto consider = [&](int route_tier, int layer_lo, int f2f, bool shared) {
+    const tech::Tech3D& tech = m.tech;
+    const tech::BeolStack& stack = (route_tier == 0) ? tech.beol_bottom : tech.beol_top;
+    if (layer_lo + 1 >= stack.num_layers()) return;
+    EdgeChoice c;
+    c.route_tier = route_tier;
+    c.layer_lo = layer_lo;
+    c.f2f = f2f;
+    c.shared = shared;
+    // Split length across the pair by orientation.
+    const double len_h = std::abs(a.x - b.x) + 0.25 * g;
+    const double len_v = std::abs(a.y - b.y) + 0.25 * g;
+    const tech::MetalLayer& l0 = stack.layer(layer_lo);
+    const tech::MetalLayer& l1 = stack.layer(layer_lo + 1);
+    const tech::MetalLayer& lh = (l0.dir == tech::LayerDir::kHorizontal) ? l0 : l1;
+    const tech::MetalLayer& lv = (l0.dir == tech::LayerDir::kHorizontal) ? l1 : l0;
+    c.wl_um = len_h + len_v;
+    c.res_ohm = len_h * lh.r_ohm_per_um + len_v * lv.r_ohm_per_um;
+    c.cap_ff = len_h * lh.c_ff_per_um + len_v * lv.c_ff_per_um;
+    // Via stacks at both ends: from device level up to the pair.
+    const tech::BeolStack& a_stack = (a.tier == 0) ? tech.beol_bottom : tech.beol_top;
+    const tech::BeolStack& b_stack = (b.tier == 0) ? tech.beol_bottom : tech.beol_top;
+    double via_r = 0.0, via_c = 0.0;
+    auto add_stack = [&](const tech::BeolStack& s, int levels) {
+      via_r += levels * s.via_r_ohm;
+      via_c += levels * s.via_c_ff;
+    };
+    if (f2f == 0) {
+      add_stack(stack, layer_lo + 1);
+      add_stack(stack, layer_lo + 1);
+    } else {
+      // Each endpoint that is NOT on the routing tier climbs its own full
+      // stack to the bond interface; endpoints on the routing tier climb
+      // to the routing pair. (F2F bonding joins the two top layers.)
+      const int to_pair = layer_lo + 1;
+      const int a_levels = (a.tier == route_tier) ? to_pair : a_stack.num_layers() - 1;
+      const int b_levels = (b.tier == route_tier) ? to_pair : b_stack.num_layers() - 1;
+      add_stack(a.tier == route_tier ? stack : a_stack, a_levels);
+      add_stack(b.tier == route_tier ? stack : b_stack, b_levels);
+      // Hop(s) down from the bond interface to the routing pair on the
+      // routing tier.
+      const int down = stack.num_layers() - 1 - (layer_lo + 1);
+      if (a.tier != route_tier || shared) add_stack(stack, std::max(down, 0));
+    }
+    c.res_ohm += via_r + f2f * tech.f2f.r_ohm;
+    c.cap_ff += via_c + f2f * tech.f2f.c_ff;
+    // Congestion along the L.
+    c.hlayer = (l0.dir == tech::LayerDir::kHorizontal) ? layer_lo : layer_lo + 1;
+    c.vlayer = (l0.dir == tech::LayerDir::kHorizontal) ? layer_lo + 1 : layer_lo;
+    double max_over = 0.0;
+    const double penalty = walk_cost(route_tier, c.hlayer, c.vlayer, &max_over);
+    double f2f_penalty = 0.0;
+    if (f2f > 0) {
+      const double fc = grid.f2f_congestion(gx1, gy1) + grid.f2f_congestion(gx2, gy2);
+      f2f_penalty = penalty_w * 2.0 * fc * fc;
+    }
+    c.overflow = max_over;
+    // Cost: Elmore-ish delay estimate + congestion penalties. kOhm*fF = ps.
+    const double drive_r_kohm = 1.5;  // nominal comparator driver
+    c.cost_ps = 1e-3 * (drive_r_kohm * 1e3 * c.cap_ff + c.res_ohm * (c.cap_ff * 0.5 + 2.0)) +
+                penalty + f2f_penalty;
+    candidates.push_back(c);
+  };
+
+  if (force_shared) {
+    // Targeted routing: the edge uses the other tier's shared layers —
+    // unless they are already full there, in which case a real router
+    // falls back to native metal rather than overflowing the bond pads.
+    const int other = a.tier == 0 ? 1 : 0;
+    const int top = grid.num_layers(other) - 1;
+    for (int k = 0; k < opt.shared_layers; ++k) {
+      const int lo = top - 1 - k;
+      if (lo >= 1) consider(other, lo, 2, true);
+    }
+    bool shared_fits = false;
+    for (const EdgeChoice& c : candidates)
+      if (c.overflow < 1.0) shared_fits = true;
+    if (!shared_fits) {
+      out.fallback = true;
+      candidates.clear();
+      const int nl_t = grid.num_layers(a.tier);
+      for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
+    }
+  } else if (cross_tier) {
+    // Choose which tier carries the wire; one F2F either way.
+    for (int tier = 0; tier < 2; ++tier) {
+      const int nl_t = grid.num_layers(tier);
+      for (int lo = 1; lo + 1 < nl_t; ++lo) consider(tier, lo, 1, false);
+    }
+  } else {
+    const int nl_t = grid.num_layers(a.tier);
+    for (int lo = 1; lo + 1 < nl_t; ++lo) consider(a.tier, lo, 0, false);
+  }
+  out.candidates = static_cast<std::uint32_t>(candidates.size());
+  if (candidates.empty()) return out;
+
+  const EdgeChoice& pick = *std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const EdgeChoice& x, const EdgeChoice& y) { return x.cost_ps < y.cost_ps; });
+
+  // Detour inflation when the chosen route is through overfull regions.
+  const double over = std::max(0.0, pick.overflow - 1.0);
+  const double detour = std::min(opt.max_detour, 1.0 + 0.5 * over);
+
+  out.routed = true;
+  out.route_tier = static_cast<std::uint8_t>(pick.route_tier);
+  out.layer_lo = static_cast<std::uint8_t>(pick.layer_lo);
+  out.hlayer = static_cast<std::uint8_t>(pick.hlayer);
+  out.vlayer = static_cast<std::uint8_t>(pick.vlayer);
+  out.f2f = static_cast<std::uint8_t>(pick.f2f);
+  out.shared = pick.shared;
+  out.wl_um = static_cast<float>(pick.wl_um * detour);
+  out.res_ohm = static_cast<float>(pick.res_ohm * detour);
+  out.cap_ff = static_cast<float>(pick.cap_ff * detour);
+  out.detour = static_cast<float>(detour);
+  out.overflow = static_cast<float>(pick.overflow);
+  return out;
+}
+
+void commit_edge(RoutingGrid& grid, const EdgeRoute& er, EdgeCommit* rec) {
+  if (!er.routed) return;
+  const int tier = er.route_tier;
+  const int gx1 = er.gx1, gy1 = er.gy1, gx2 = er.gx2, gy2 = er.gy2;
+  auto take = [&](int layer, int x, int y) {
+    const std::size_t i = grid.track_index(tier, layer, x, y);
+    grid.add_usage_at(i, 1.0f);
+    if (rec != nullptr) rec->tracks.push_back(static_cast<std::uint32_t>(i));
+  };
+  const int xs = std::min(gx1, gx2), xe = std::max(gx1, gx2);
+  for (int x = xs; x <= xe; ++x) take(er.hlayer, x, gy1);
+  const int ys = std::min(gy1, gy2), ye = std::max(gy1, gy2);
+  for (int y = ys; y <= ye; ++y) take(er.vlayer, gx2, y);
+  if (er.f2f > 0) {
+    grid.add_f2f(gx1, gy1, 1.0f);
+    if (rec != nullptr) rec->f2f.push_back(static_cast<std::uint32_t>(grid.f2f_index(gx1, gy1)));
+    if (er.f2f > 1) {
+      grid.add_f2f(gx2, gy2, 1.0f);
+      if (rec != nullptr)
+        rec->f2f.push_back(static_cast<std::uint32_t>(grid.f2f_index(gx2, gy2)));
+    }
+  }
+}
+
+void uncommit_edge(RoutingGrid& grid, EdgeCommit& rec) {
+  for (const std::uint32_t i : rec.tracks) grid.add_usage_at(i, -1.0f);
+  for (const std::uint32_t i : rec.f2f) grid.add_f2f_at(i, -1.0f);
+  rec.tracks.clear();
+  rec.f2f.clear();
+}
+
+NetRoute assemble_net_route(const netlist::Netlist& nl, Id net_id, const NetTopology& topo,
+                            std::span<const EdgeRoute> edges) {
+  const netlist::Net& net = nl.net(net_id);
+  NetRoute out;
+  out.sink_elmore_ps.assign(net.sinks.size(), 0.0f);
+  if (topo.terms.empty()) return out;
+  const std::size_t n = topo.terms.size();
+
+  // Per-edge electrical results (post-detour), indexed by child terminal.
+  std::vector<double> edge_res(n, 0.0), edge_cap(n, 0.0);
+  for (std::size_t v = 1; v < n; ++v) {
+    if (v - 1 >= edges.size()) break;
+    const EdgeRoute& er = edges[v - 1];
+    if (!er.routed) continue;
+    edge_res[v] = er.res_ohm;
+    edge_cap[v] = er.cap_ff;
+    out.wl_um += er.wl_um;
+    out.res_ohm += er.res_ohm;
+    out.cap_ff += er.cap_ff;
+    out.detour = std::max(out.detour, er.detour);
+    out.worst_overflow = std::max(out.worst_overflow, er.overflow);
+    out.layers_used[er.route_tier] |= static_cast<std::uint8_t>(0x3u << er.layer_lo);
+    if (er.f2f > 0) {
+      out.f2f_vias = static_cast<std::uint8_t>(std::min<int>(255, out.f2f_vias + er.f2f));
+      if (er.shared) out.mls_applied = true;
+    }
+  }
+
+  // cap_below[i] = capacitance of i's subtree (wire + pins). Accumulate
+  // leaf-to-root in (depth desc, index asc) order — a total order, so the
+  // floating-point accumulation sequence is deterministic.
+  std::vector<int> depth(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    int d = 0;
+    for (int p = static_cast<int>(i); topo.parent[static_cast<std::size_t>(p)] >= 0;
+         p = topo.parent[static_cast<std::size_t>(p)])
+      ++d;
+    depth[i] = d;
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    const int dx = depth[static_cast<std::size_t>(x)], dy = depth[static_cast<std::size_t>(y)];
+    if (dx != dy) return dx > dy;
+    return x < y;
+  });
+  std::vector<double> cap_below(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) cap_below[i] = topo.terms[i].pin_cap_ff;
+  for (int i : order) {
+    const int p = topo.parent[static_cast<std::size_t>(i)];
+    if (p < 0) continue;
+    cap_below[static_cast<std::size_t>(p)] +=
+        cap_below[static_cast<std::size_t>(i)] + edge_cap[static_cast<std::size_t>(i)];
+  }
+
+  // Elmore at node = sum over path edges of R_edge * (C_edge/2 + cap_below),
+  // propagated root-to-leaf (depth asc, index asc).
+  std::vector<double> elmore(n, 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int i = *it;
+    const int p = topo.parent[static_cast<std::size_t>(i)];
+    if (p < 0) continue;
+    const double r = edge_res[static_cast<std::size_t>(i)];
+    const double c =
+        edge_cap[static_cast<std::size_t>(i)] * 0.5 + cap_below[static_cast<std::size_t>(i)];
+    elmore[static_cast<std::size_t>(i)] = elmore[static_cast<std::size_t>(p)] + 1e-3 * r * c;
+  }
+  for (std::size_t s = 0; s < net.sinks.size(); ++s)
+    out.sink_elmore_ps[s] = static_cast<float>(elmore[s + 1]);
+  out.load_ff = static_cast<float>(cap_below[0]);
+  return out;
+}
+
+}  // namespace gnnmls::route

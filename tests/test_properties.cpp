@@ -6,6 +6,8 @@
 #include <cmath>
 #include <tuple>
 
+#include "core/access_audit.hpp"
+#include "core/design_db.hpp"
 #include "mls/flow.hpp"
 #include "dft/faults.hpp"
 #include "mls/labeler.hpp"
@@ -200,6 +202,44 @@ TEST_P(RouterSweep, CongestionCensusConsistent) {
   const route::RouteSummary summary = router.route_all({});
   EXPECT_GE(summary.census.max_congestion, summary.census.mean_congestion);
   EXPECT_GE(summary.total_wl_m, 0.0);
+}
+
+// trial_route is documented as truly const: the what-if route of one net
+// must leave zero observable writes behind — no grid usage, no history, no
+// DB revision, no stage write in the access audit — across both MLS modes
+// and every sweep configuration. (The MLS labeler calls trial_route
+// thousands of times between real routes; one leaked track would skew
+// every later congestion decision.)
+TEST_P(RouterSweep, TrialRouteLeavesZeroWrites) {
+  const auto [hetero, mls_wl_threshold] = GetParam();
+  Design d = make_maeri_16pe(15);
+  const auto tech3d =
+      hetero ? tech::make_hetero_tech(d.info.beol_layers) : tech::make_homo_tech(d.info.beol_layers);
+  insert_buffer_trees(d.nl);
+  place::place(d, tech3d);
+  core::DesignDB db(d, tech3d);
+  route::Router& router = db.router({});
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  for (Id n = 0; n < d.nl.num_nets(); ++n)
+    if (!d.nl.is_3d_net(n) && d.nl.net_hpwl_um(n) > mls_wl_threshold) flags[n] = 1;
+  db.set_route_summary(router.route_all(flags), /*incremental=*/false);
+
+  const std::uint64_t fp_before = db.state_fingerprint();
+  const auto grid_before = router.grid().usage_state();
+  core::AccessRecorder rec;
+  {
+    core::AuditScope scope(&rec);
+    for (Id n = 0; n < std::min<Id>(300, static_cast<Id>(d.nl.num_nets())); ++n) {
+      router.trial_route(n, false);
+      router.trial_route(n, true);
+    }
+  }
+  EXPECT_TRUE(rec.writes().empty());
+  EXPECT_FALSE(rec.took_mutable_design());
+  EXPECT_EQ(db.state_fingerprint(), fp_before);
+  const auto grid_after = router.grid().usage_state();
+  EXPECT_TRUE(grid_before.use == grid_after.use);
+  EXPECT_TRUE(grid_before.f2f_use == grid_after.f2f_use);
 }
 
 INSTANTIATE_TEST_SUITE_P(Configs, RouterSweep,

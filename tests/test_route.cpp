@@ -1,6 +1,9 @@
 // Tests for the routing grid and the MLS-aware router.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "ft/error.hpp"
 #include "netlist/buffering.hpp"
 #include "netlist/generators.hpp"
 #include "place/placer.hpp"
@@ -165,6 +168,143 @@ TEST(Router, RouteAllIsRepeatable) {
   const RouteSummary b = router.route_all({});
   EXPECT_DOUBLE_EQ(a.total_wl_m, b.total_wl_m);
   EXPECT_EQ(a.census.overflow_gcells, b.census.overflow_gcells);
+}
+
+// Exact value equality of two routers' full routing state: every net's
+// electrical result and every 2-pin edge's routed choice.
+void expect_identical_routing(const Router& a, const Router& b, Id num_nets) {
+  for (Id n = 0; n < num_nets; ++n) {
+    const NetRoute& ra = a.net_route(n);
+    const NetRoute& rb = b.net_route(n);
+    ASSERT_EQ(ra.wl_um, rb.wl_um) << "net " << n;
+    ASSERT_EQ(ra.res_ohm, rb.res_ohm) << "net " << n;
+    ASSERT_EQ(ra.cap_ff, rb.cap_ff) << "net " << n;
+    ASSERT_EQ(ra.load_ff, rb.load_ff) << "net " << n;
+    ASSERT_EQ(ra.sink_elmore_ps, rb.sink_elmore_ps) << "net " << n;
+    ASSERT_TRUE(a.net_edges(n) == b.net_edges(n)) << "net " << n;
+  }
+}
+
+// The tentpole determinism contract: the negotiated engine's result is a
+// pure function of (netlist, flags, options) — GNNMLS_THREADS must not be
+// observable in any routed value. ci.sh re-checks this end to end via the
+// DB state fingerprint; this test pins it at the router level.
+TEST(RouterThreads, BitIdenticalAcrossThreadCounts) {
+  tech::Tech3D tech3d;
+  Design d = placed_16pe(true, tech3d);
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  for (Id n = 0; n < d.nl.num_nets(); ++n)
+    if (!d.nl.is_3d_net(n) && d.nl.net_hpwl_um(n) > 100.0) flags[n] = 1;
+
+  ::setenv("GNNMLS_THREADS", "1", 1);
+  Router ref(d, tech3d);
+  const RouteSummary rs1 = ref.route_all(flags);
+  for (const char* threads : {"2", "4"}) {
+    ::setenv("GNNMLS_THREADS", threads, 1);
+    Router router(d, tech3d);
+    const RouteSummary rs = router.route_all(flags);
+    EXPECT_EQ(rs.total_wl_m, rs1.total_wl_m) << "threads=" << threads;
+    EXPECT_EQ(rs.census.overflow_gcells, rs1.census.overflow_gcells);
+    EXPECT_EQ(rs.mls_nets, rs1.mls_nets);
+    EXPECT_EQ(rs.f2f_pairs, rs1.f2f_pairs);
+    expect_identical_routing(ref, router, d.nl.num_nets());
+  }
+  ::unsetenv("GNNMLS_THREADS");
+}
+
+// Pins the delta contract documented on RouteSummary: route_all is a full
+// invalidation (both change lists empty), reroute_nets reports the exact
+// set of nets/edges whose routed value moved — no more, no less.
+TEST(RouterDelta, RouteAllReportsNoDeltaRerouteReportsExact) {
+  tech::Tech3D tech3d;
+  Design d = placed_16pe(true, tech3d);
+  Router router(d, tech3d);
+  const RouteSummary full = router.route_all({});
+  EXPECT_TRUE(full.changed_nets.empty());
+  EXPECT_TRUE(full.changed_edges.empty());
+
+  // Record the pre-ECO state, flip MLS on for some long nets, replay.
+  std::vector<NetRoute> before(d.nl.num_nets());
+  std::vector<std::vector<EdgeRoute>> before_edges(d.nl.num_nets());
+  for (Id n = 0; n < d.nl.num_nets(); ++n) {
+    before[n] = router.net_route(n);
+    before_edges[n] = router.net_edges(n);
+  }
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  std::vector<Id> dirty;
+  for (Id n = 0; n < d.nl.num_nets(); ++n)
+    if (!d.nl.is_3d_net(n) && d.nl.net_hpwl_um(n) > 100.0 &&
+        d.nl.cell(d.nl.pin(d.nl.net(n).driver).cell).tier == 0) {
+      flags[n] = 1;
+      dirty.push_back(n);
+    }
+  ASSERT_FALSE(dirty.empty());
+  const RouteSummary re = router.reroute_nets(dirty, flags, RerouteMode::kReplay);
+  EXPECT_FALSE(re.changed_nets.empty());
+
+  // Exactness, net level: listed nets changed value, unlisted nets did not.
+  std::vector<bool> listed(d.nl.num_nets(), false);
+  for (const Id n : re.changed_nets) listed[n] = true;
+  for (Id n = 0; n < d.nl.num_nets(); ++n) {
+    const bool moved = !(router.net_route(n).wl_um == before[n].wl_um &&
+                         router.net_route(n).res_ohm == before[n].res_ohm &&
+                         router.net_route(n).cap_ff == before[n].cap_ff &&
+                         router.net_route(n).sink_elmore_ps == before[n].sink_elmore_ps &&
+                         router.net_edges(n) == before_edges[n]);
+    EXPECT_EQ(listed[n], moved) << "net " << n;
+  }
+  // Edge level: every changed edge names a changed net and a real value move.
+  for (const EdgeRef& e : re.changed_edges) {
+    EXPECT_TRUE(listed[e.net]) << "edge of unlisted net " << e.net;
+    ASSERT_LT(e.edge, before_edges[e.net].size());
+    EXPECT_FALSE(router.net_edges(e.net)[e.edge] == before_edges[e.net][e.edge]);
+  }
+
+  // A replay with nothing dirty is the documented no-op.
+  const RouteSummary noop = router.reroute_nets({}, flags, RerouteMode::kReplay);
+  EXPECT_TRUE(noop.changed_nets.empty());
+  EXPECT_TRUE(noop.changed_edges.empty());
+}
+
+// Negotiation must pay for itself: the final overflow can never exceed the
+// legacy serial engine's (the revert-on-worse rule makes the loop monotone
+// against its own start, and commit-time repair keeps the sharded initial
+// state at least serial-quality).
+TEST(RouterNegotiation, OverflowNoWorseThanSerial) {
+  tech::Tech3D tech3d;
+  Design d = placed_16pe(true, tech3d);
+  std::vector<std::uint8_t> flags(d.nl.num_nets(), 0);
+  for (Id n = 0; n < d.nl.num_nets(); ++n)
+    if (!d.nl.is_3d_net(n) && d.nl.net_hpwl_um(n) > 60.0) flags[n] = 1;
+
+  Router negotiated(d, tech3d);
+  const RouteSummary neg = negotiated.route_all(flags);
+  RouterOptions serial_opt;
+  serial_opt.negotiate = false;
+  Router serial(d, tech3d, serial_opt);
+  const RouteSummary ser = serial.route_all(flags);
+  EXPECT_LE(neg.census.overflow_gcells + neg.census.f2f_overflow_gcells,
+            ser.census.overflow_gcells + ser.census.f2f_overflow_gcells);
+}
+
+// The cooperative watchdog: an impossible budget makes the negotiated
+// engine throw the retryable kTimeout that RoutePass degrades on.
+TEST(RouterNegotiation, BudgetOverrunThrowsRetryableTimeout) {
+  tech::Tech3D tech3d;
+  Design d = placed_16pe(false, tech3d);
+  RouterOptions opt;
+  opt.negotiation_budget_s = 1e-12;
+  Router router(d, tech3d, opt);
+  try {
+    router.route_all({});
+    FAIL() << "expected ft::FlowError(kTimeout)";
+  } catch (const ft::FlowError& e) {
+    EXPECT_EQ(e.code(), ft::ErrorCode::kTimeout);
+    EXPECT_TRUE(e.retryable());
+  }
+  // The serial fallback still works on the same router instance.
+  const RouteSummary rs = router.route_all_serial({});
+  EXPECT_GT(rs.total_wl_m, 0.0);
 }
 
 TEST(Router, DescribeLayers) {

@@ -335,6 +335,12 @@ int main(int argc, char** argv) {
                 flow.last_run_report().executed.size());
   }
 
+  // One greppable line for the ci.sh thread-sweep gate: runs under
+  // GNNMLS_THREADS=1/2/4 must print the same fingerprint (the sharded
+  // router's determinism contract, enforced end-to-end over the full flow).
+  std::printf("state fingerprint: 0x%016llx\n",
+              static_cast<unsigned long long>(flow.db().state_fingerprint()));
+
   // Stage-artifact ledger: which artifacts exist, at which revision, and
   // whether their upstream moved from under them. "stale" here is the same
   // predicate RT-005 and the incremental-ECO path key off.
