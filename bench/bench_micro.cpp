@@ -15,6 +15,7 @@
 #include "ml/mlp.hpp"
 #include "mls/flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -252,6 +253,33 @@ void BM_CounterAdd(benchmark::State& st) {
   }
 }
 BENCHMARK(BM_CounterAdd)->Unit(benchmark::kNanosecond);
+
+// Histogram observe is the always-on cost added to every instrumented hot
+// path (per-edge route, STA cone, GNN inference): one bit_cast bucket index
+// plus two relaxed atomic RMWs. CI's BENCH_obs.json smoke gates on it
+// staying in the tens-of-ns regime next to BM_CounterAdd.
+void BM_HistogramObserve(benchmark::State& st) {
+  obs::Histogram& h = obs::Metrics::instance().histogram("bench.hist_observe");
+  double v = 1e-6;
+  for (auto _ : st) {
+    h.observe(v);
+    v += 1e-9;  // walk the value so the bucket index is not loop-invariant
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_HistogramObserve)->Unit(benchmark::kNanosecond);
+
+// A flight-recorder event is one global ordinal fetch_add, a seqlock stamp
+// pair, and eight relaxed stores into the thread's ring slot — the cost a
+// pass begin/end or DB commit pays unconditionally.
+void BM_RecorderEvent(benchmark::State& st) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  for (auto _ : st) {
+    rec.record(obs::EventKind::kMark, "bench.recorder_event", 1, 2);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_RecorderEvent)->Unit(benchmark::kNanosecond);
 
 void BM_FlowStages(benchmark::State& st) {
   auto& f = *state().flow;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace gnnmls::core {
 
@@ -43,6 +44,7 @@ std::uint64_t DesignDB::commit(Stage s) {
     dirty_.clear();
     journal_cursor_ = design_.nl.journal_size();
   }
+  obs::FlightRecorder::instance().record(obs::EventKind::kCommit, to_string(s), t.revision);
   return t.revision;
 }
 
@@ -223,6 +225,41 @@ bool contains(std::span<const Stage> stages, Stage s) {
 }
 
 }  // namespace
+
+std::size_t DesignDB::Snapshot::approx_bytes() const {
+  std::size_t b = sizeof(Snapshot);
+  b += dirty.size() * sizeof(netlist::Id);
+  b += mls_flags.size();
+  b += route_delta.changed.size() * sizeof(netlist::Id) +
+       route_delta.changed_edges.size() * sizeof(route::EdgeRef);
+  if (design) {
+    const netlist::Netlist& nl = design->nl;
+    b += nl.num_cells() * sizeof(netlist::CellInst) + nl.num_pins() * sizeof(netlist::Pin);
+    // Each pin sits in at most one net's sink list; num_pins bounds the
+    // summed sink-vector payload without an O(nets) walk.
+    b += nl.num_nets() * sizeof(netlist::Net) + nl.num_pins() * sizeof(netlist::Id);
+    b += nl.journal_size() * sizeof(netlist::Id);
+  }
+  if (router) {
+    const route::Router::Checkpoint& cp = *router;
+    b += cp.routes.size() * sizeof(route::NetRoute) + cp.terms.size() * sizeof(route::Terminal) +
+         cp.parents.size() * sizeof(int) + cp.edge_routes.size() * sizeof(route::EdgeRoute);
+    b += (cp.term_count.size() + cp.edge_count.size() + cp.commit_edge_count.size() +
+          cp.track_count.size() + cp.f2f_count.size() + cp.tracks.size() + cp.f2f.size()) *
+         sizeof(std::uint32_t);
+    b += cp.history.size() * sizeof(float) + cp.mls_flags.size();
+    b += (cp.grid.use.size() + cp.grid.f2f_use.size()) * sizeof(float);
+  }
+  if (route_summary)
+    b += sizeof(route::RouteSummary) +
+         route_summary->changed_nets.size() * sizeof(netlist::Id) +
+         route_summary->changed_edges.size() * sizeof(route::EdgeRef);
+  if (sta_result) b += sizeof(sta::StaResult);
+  if (power) b += sizeof(pdn::PowerReport);
+  if (pdn) b += sizeof(pdn::PdnDesign);
+  if (test_model) b += sizeof(dft::TestModel);
+  return b;
+}
 
 DesignDB::Snapshot DesignDB::snapshot(std::span<const Stage> stages) const {
   Snapshot snap;

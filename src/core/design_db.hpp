@@ -211,6 +211,10 @@ class DesignDB {
     std::optional<pdn::PowerReport> power;          // kPower
     std::optional<pdn::PdnDesign> pdn;              // kPdn
     std::optional<dft::TestModel> test_model;       // kTest
+    // Rough heap footprint of the captured artifacts (element counts times
+    // element sizes; nested small vectors estimated, not walked). Feeds the
+    // flow.snapshot_bytes / flow.restore_bytes histograms.
+    std::size_t approx_bytes() const;
   };
   Snapshot snapshot(std::span<const Stage> stages) const;
   void restore(const Snapshot& snap);

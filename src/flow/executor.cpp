@@ -6,6 +6,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace gnnmls::flow {
 
 Executor::Executor(int threads) : threads_(threads < 1 ? 1 : threads) {}
@@ -44,11 +46,20 @@ std::vector<std::exception_ptr> Executor::run_collect(
       }
     }
   };
+  // Spans opened inside tasks on pool threads adopt the dispatching thread's
+  // innermost span as parent (e.g. flow.wave), instead of becoming orphan
+  // roots in the Chrome export. The calling thread's own worker() pass needs
+  // no guard: its span stack already holds the parent.
+  const obs::SpanContext span_ctx = obs::Tracer::instance().current_context();
   const std::size_t nthreads =
       std::min<std::size_t>(static_cast<std::size_t>(threads_), tasks.size());
   std::vector<std::thread> pool;
   pool.reserve(nthreads - 1);
-  for (std::size_t t = 1; t < nthreads; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 1; t < nthreads; ++t)
+    pool.emplace_back([&worker, span_ctx] {
+      obs::ContextGuard guard(span_ctx);
+      worker();
+    });
   worker();  // the calling thread pulls tasks too
   for (std::thread& t : pool) t.join();
   return errors;

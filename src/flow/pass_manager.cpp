@@ -10,9 +10,11 @@
 #include "audit/contract_audit.hpp"
 #include "core/access_audit.hpp"
 #include "flow/executor.hpp"
+#include "ft/blackbox.hpp"
 #include "ft/error.hpp"
 #include "ft/policy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -123,6 +125,11 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
     }
     if (wave.empty()) break;
 
+    // One aggregation node per wave: pass spans — on the dispatch thread and
+    // (via the Executor's ContextGuard) on pool threads alike — nest under
+    // it instead of under flow.evaluate directly or as orphan roots.
+    obs::Span wave_span("flow.wave");
+
     // Transaction scope: the union of the wave's write stages. Snapshotting
     // once per wave (not per pass) keeps the copy count low and is exactly
     // as safe — a failed wave is rolled back whole, including the writes of
@@ -154,6 +161,9 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
       pre_fp = ctx.db.state_fingerprint();
       ctx.metrics.tx_s +=
           std::chrono::duration<double>(std::chrono::steady_clock::now() - tx0).count();
+      static obs::Histogram& snap_bytes =
+          obs::Metrics::instance().histogram("flow.snapshot_bytes");
+      snap_bytes.observe(static_cast<double>(snap->approx_bytes()));
     }
 
     std::size_t attempt = 0;
@@ -169,9 +179,12 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
           audit ? ctx.db.design().nl.revision() : 0;
       std::vector<std::function<void()>> tasks;
       tasks.reserve(wave.size());
+      const std::size_t wave_no = report_.waves;
       for (std::size_t k = 0; k < wave.size(); ++k) {
         Pass* pass = pipeline[wave[k]];
-        tasks.push_back([pass, &ctx, &seconds, k, &ft, audit, &recorders] {
+        tasks.push_back([pass, &ctx, &seconds, k, &ft, audit, &recorders, wave_no, attempt] {
+          obs::FlightRecorder::instance().record(obs::EventKind::kPassBegin, pass->name(),
+                                                 wave_no, attempt);
           const auto t0 = std::chrono::steady_clock::now();
           for (const core::Stage s : pass->writes()) ctx.db.begin_write(s);
           {
@@ -184,6 +197,9 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
           for (const core::Stage s : pass->writes()) ctx.db.end_write(s);
           seconds[k] =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          obs::FlightRecorder::instance().record(
+              obs::EventKind::kPassEnd, pass->name(), wave_no,
+              static_cast<std::uint64_t>(seconds[k] * 1e9));
           // Cooperative watchdog: passes cannot be killed mid-flight
           // portably, so budget overruns are detected on return and
           // converted into retryable timeouts (the retry observes the
@@ -265,9 +281,16 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
         // recovery machinery engaged; the Chrome trace shows it nested under
         // whatever flow span is open.
         obs::Span mark(("ft.fail." + e.pass()).c_str());
+        obs::FlightRecorder::instance().record(obs::EventKind::kPassFail, e.pass(), wave_no,
+                                               static_cast<std::uint64_t>(e.code()));
         util::log_warn("flow: pass ", e.pass(), " failed (", ft::to_string(e.code()),
                        e.retryable() ? ", retryable): " : ", fatal): ", e.what());
       }
+      // The black box: failure context + the recorder tail, written before
+      // rollback mutates anything so the dump shows the state as it failed.
+      const std::string dumped = ft::dump_black_box(failures, wave_no, attempt);
+      if (!dumped.empty())
+        util::log_warn("flow: flight-recorder dump written to ", dumped);
 
       if (!ft.transactional) {
         // Legacy mode: no rollback, rethrow the lowest-indexed failure
@@ -282,6 +305,11 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
       const std::uint64_t post_fp = ctx.db.state_fingerprint();
       ctx.metrics.tx_s +=
           std::chrono::duration<double>(std::chrono::steady_clock::now() - tx0).count();
+      static obs::Histogram& restore_bytes =
+          obs::Metrics::instance().histogram("flow.restore_bytes");
+      restore_bytes.observe(static_cast<double>(snap->approx_bytes()));
+      obs::FlightRecorder::instance().record(obs::EventKind::kRollback, failures.front().pass(),
+                                             wave_no, post_fp);
       RollbackRecord rb;
       rb.wave = report_.waves;
       for (const ft::FlowError& e : failures) rb.failed.push_back(e.pass());
@@ -305,6 +333,8 @@ const RunReport& PassManager::run(const std::vector<Pass*>& pipeline, PassContex
         ++ctx.metrics.retries;
         static obs::Counter& retries = obs::Metrics::instance().counter("ft.retries");
         retries.add(1);
+        obs::FlightRecorder::instance().record(obs::EventKind::kRetry, failures.front().pass(),
+                                               wave_no, attempt);
         util::log_warn("flow: retrying wave ", report_.waves, " (attempt ", attempt + 1, " of ",
                        ft.max_retries + 1, ")");
         continue;

@@ -6,6 +6,7 @@
 
 #include "ft/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/log.hpp"
 
 namespace gnnmls::ft {
@@ -96,6 +97,7 @@ void FaultPlan::arm(std::string_view site, std::uint64_t nth) {
   // Trip relative to the hits already seen, so re-arming mid-run works.
   s->trip_at.store(s->hits.load(std::memory_order_relaxed) + nth,
                    std::memory_order_relaxed);
+  obs::FlightRecorder::instance().record(obs::EventKind::kFaultArm, site, nth);
 }
 
 void FaultPlan::arm_spec(std::string_view spec) {
@@ -136,6 +138,7 @@ void FaultPlan::visit(const char* site) {
   s->trip_at.store(0, std::memory_order_relaxed);
   tripped_.fetch_add(1, std::memory_order_relaxed);
   obs::Metrics::instance().counter("ft.faults_injected").add(1);
+  obs::FlightRecorder::instance().record(obs::EventKind::kFaultTrip, site, hit);
   util::log_warn("ft: injected fault at site ", site, " (hit ", hit, ")");
   if (s->info->throws_logic_error)
     throw std::logic_error(std::string("injected precondition failure at ") + site);

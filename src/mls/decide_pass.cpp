@@ -3,9 +3,11 @@
 #include <stdexcept>
 
 #include "flow/registry.hpp"
+#include "ft/blackbox.hpp"
 #include "ft/fault_plan.hpp"
 #include "mls/sota.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -31,6 +33,8 @@ void DecidePass::run(flow::PassContext& ctx) {
     static obs::Counter& degraded = obs::Metrics::instance().counter("ft.degraded");
     degraded.add(1);
     ctx.metrics.degraded = true;
+    obs::FlightRecorder::instance().record(obs::EventKind::kDegrade, "decide.sota");
+    ft::dump_black_box({}, 0, 0, std::string("decide degraded to SOTA heuristic: ") + e.what());
     flags_ = sota_select(db.design(), ctx.config.sota);
   }
   span.end();

@@ -80,8 +80,15 @@ std::vector<std::uint8_t> GnnMlsEngine::decide(const netlist::Design& design,
   std::vector<float> best(design.nl.num_nets(), 0.0f);
   {
     GNNMLS_SPAN("mls.decide.inference");
+    // Per-graph forward-pass latency: the batched-inference work (ROADMAP
+    // item 2) needs the tail, not the mean — one oversized path graph per
+    // decide dominates it.
+    static obs::Histogram& infer_s = obs::Metrics::instance().histogram("ml.infer_s");
     for (const ml::PathGraph& g : corpus.graphs) {
+      const auto t0 = std::chrono::steady_clock::now();
       const std::vector<double> probs = predict(g);
+      infer_s.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
       for (std::size_t i = 0; i < probs.size(); ++i) {
         const std::uint32_t net = g.net_ids[i];
         if (net == netlist::kNullId) continue;

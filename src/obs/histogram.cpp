@@ -1,0 +1,67 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace gnnmls::obs {
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN -> underflow
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  // IEEE-754 double: exponent in bits 52..62, the top 2 mantissa bits pick
+  // the sub-bucket. Denormals decode to exponent -1023 and clamp below.
+  const int exp = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  const auto sub = static_cast<int>((bits >> 50) & 0x3);
+  const long idx = (static_cast<long>(exp) - kMinExp) * kSubBuckets + sub + 1;
+  if (idx < 1) return 0;
+  if (idx >= static_cast<long>(kNumBuckets) - 1) return kNumBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double Histogram::bucket_lower(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  if (bucket >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const std::size_t k = bucket - 1;
+  const int exp = kMinExp + static_cast<int>(k / kSubBuckets);
+  const double frac = 1.0 + 0.25 * static_cast<double>(k % kSubBuckets);
+  return std::ldexp(frac, exp);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::array<std::uint64_t, kNumBuckets> local{};
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    local[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += local[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  const auto quantile = [&](double q) {
+    // Target rank in [1, count]; interpolate linearly inside the bucket.
+    const double target = q * static_cast<double>(s.count);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      if (local[i] == 0) continue;
+      cum += local[i];
+      if (static_cast<double>(cum) >= target) {
+        const double lo = bucket_lower(i);
+        const double hi = (i + 1 < kNumBuckets) ? bucket_lower(i + 1) : lo * 1.25;
+        const double into =
+            (target - static_cast<double>(cum - local[i])) / static_cast<double>(local[i]);
+        return lo + (hi - lo) * into;
+      }
+    }
+    return bucket_lower(kNumBuckets - 1);
+  };
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace gnnmls::obs

@@ -1,0 +1,62 @@
+// Cross-run perf ledger: one schema-versioned JSONL record per flow/bench
+// run, so perf regressions are caught by diffing history instead of by
+// hand-written shell gates.
+//
+// A record is deliberately generic — a flat {stage -> seconds} map plus the
+// counter/gauge/histogram snapshot — so gnnmls_report can diff any two
+// records with the same keys, whether they came from a gnnmls_lint flow run
+// (stages = FlowMetrics fields) or an ingested google-benchmark JSON (stages
+// = benchmark names). Appending is one line of JSON; the file is greppable,
+// mergeable, and survives schema growth through the leading "schema" field.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gnnmls::obs {
+
+struct LedgerRecord {
+  int schema = 1;
+  std::string kind = "flow";  // "flow" | "bench"
+  std::string rev;            // git revision (GNNMLS_GIT_REV), "unknown" if unset
+  std::string utc;            // ISO-8601 UTC wall time of the append
+  std::string label;          // e.g. "maeri16/sota+dft" or the bench file name
+  std::map<std::string, double> stages;  // name -> seconds
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  struct HistQ {
+    double count = 0, mean = 0, p50 = 0, p90 = 0, p99 = 0;
+  };
+  std::map<std::string, HistQ> hists;
+  std::string fingerprint;  // "0x..." DB state fingerprint, "" for benches
+};
+
+// Fills rev (from GNNMLS_GIT_REV) and utc on a fresh record, and captures
+// the current obs::Metrics counters/gauges/histograms.
+LedgerRecord make_record(std::string kind, std::string label);
+
+// One line of JSON (no trailing newline).
+std::string to_json(const LedgerRecord& rec);
+// Parses one JSONL line; false on malformed input or schema > current.
+bool parse_record(const std::string& line, LedgerRecord& out);
+
+// Appends rec + '\n' to path (created if missing). False on I/O failure.
+bool append_jsonl(const std::string& path, const LedgerRecord& rec);
+// Every parseable record in the file, in file order (bad lines skipped).
+std::vector<LedgerRecord> read_jsonl(const std::string& path);
+
+// One flagged stage-time regression between two records.
+struct StageRegression {
+  std::string stage;
+  double base_s = 0.0;
+  double cur_s = 0.0;
+  double pct = 0.0;  // (cur - base) / base * 100
+};
+// Stages present in both records whose time grew by more than max_pct
+// percent AND more than abs_floor_s seconds (the floor keeps sub-millisecond
+// stages from flagging on scheduler noise). Sorted worst-first.
+std::vector<StageRegression> diff_stages(const LedgerRecord& base, const LedgerRecord& cur,
+                                         double max_pct, double abs_floor_s);
+
+}  // namespace gnnmls::obs

@@ -1,10 +1,12 @@
 #include "obs/metrics.hpp"
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace gnnmls::obs {
@@ -15,6 +17,19 @@ struct Metrics::Impl {
   mutable std::mutex mu;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+
+  void check_kind(std::string_view name, std::string_view want) const {
+    const auto kind_of = [&]() -> const char* {
+      if (want != "counter" && counters.find(name) != counters.end()) return "counter";
+      if (want != "gauge" && gauges.find(name) != gauges.end()) return "gauge";
+      if (want != "histogram" && histograms.find(name) != histograms.end()) return "histogram";
+      return nullptr;
+    };
+    if (const char* kind = kind_of())
+      throw std::logic_error("obs metric '" + std::string(name) + "' is a " + kind + ", not a " +
+                             std::string(want));
+  }
 };
 
 Metrics& Metrics::instance() {
@@ -30,8 +45,7 @@ Metrics::Impl& Metrics::impl() const {
 Counter& Metrics::counter(std::string_view name) {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
-  if (i.gauges.find(name) != i.gauges.end())
-    throw std::logic_error("obs metric '" + std::string(name) + "' is a gauge, not a counter");
+  i.check_kind(name, "counter");
   auto it = i.counters.find(name);
   if (it == i.counters.end())
     it = i.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -41,11 +55,20 @@ Counter& Metrics::counter(std::string_view name) {
 Gauge& Metrics::gauge(std::string_view name) {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
-  if (i.counters.find(name) != i.counters.end())
-    throw std::logic_error("obs metric '" + std::string(name) + "' is a counter, not a gauge");
+  i.check_kind(name, "gauge");
   auto it = i.gauges.find(name);
   if (it == i.gauges.end())
     it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.check_kind(name, "histogram");
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end())
+    it = i.histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
   return *it->second;
 }
 
@@ -71,11 +94,21 @@ std::vector<MetricSample> Metrics::snapshot() const {
   return out;
 }
 
+std::vector<std::pair<std::string, HistogramSnapshot>> Metrics::histogram_snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(i.histograms.size());
+  for (const auto& [name, h] : i.histograms) out.emplace_back(name, h->snapshot());
+  return out;
+}
+
 void Metrics::reset() {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
   for (auto& [name, c] : i.counters) c->reset();
   for (auto& [name, g] : i.gauges) g->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
 }
 
 std::string Metrics::table() const {
@@ -86,7 +119,49 @@ std::string Metrics::table() const {
                    s.is_counter ? util::fmt_count(static_cast<long long>(s.value))
                                 : util::fmt_fixed(s.value, 4)});
   }
+  const auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+    return std::string(buf);
+  };
+  for (const auto& [name, h] : histogram_snapshot()) {
+    if (h.count == 0) continue;
+    table.add_row({name, "histogram",
+                   "n=" + util::fmt_count(static_cast<long long>(h.count)) + " p50=" + fmt(h.p50) +
+                       " p90=" + fmt(h.p90) + " p99=" + fmt(h.p99)});
+  }
   return table.render();
+}
+
+std::string Metrics::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const MetricSample& s : snapshot()) {
+    if (!s.is_counter) continue;
+    if (!first) out += ',';
+    first = false;
+    out += util::json_quote(s.name) + ":" + util::json_num(s.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const MetricSample& s : snapshot()) {
+    if (s.is_counter) continue;
+    if (!first) out += ',';
+    first = false;
+    out += util::json_quote(s.name) + ":" + util::json_num(s.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histogram_snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += util::json_quote(name) + ":{\"count\":" + util::json_num(static_cast<double>(h.count)) +
+           ",\"sum\":" + util::json_num(h.sum) + ",\"mean\":" + util::json_num(h.mean()) +
+           ",\"p50\":" + util::json_num(h.p50) + ",\"p90\":" + util::json_num(h.p90) +
+           ",\"p99\":" + util::json_num(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace gnnmls::obs

@@ -21,7 +21,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace gnnmls::obs {
 
@@ -56,17 +59,25 @@ class Metrics {
   static Metrics& instance();
 
   // Finds or registers; the returned reference is stable for the process
-  // lifetime. A name is either a counter or a gauge, never both (the second
-  // kind requested under the same name throws std::logic_error).
+  // lifetime. A name names exactly one metric kind — requesting it as a
+  // second kind throws std::logic_error.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
-  // All registered metrics, sorted by name (zero-valued ones included).
+  // All registered counters/gauges, sorted by name (zero-valued ones
+  // included). Histograms snapshot separately: they carry quantiles, not one
+  // value.
   std::vector<MetricSample> snapshot() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histogram_snapshot() const;
   // Zeroes every value; handles stay valid.
   void reset();
-  // "metric | kind | value" rendering of the non-zero snapshot entries.
+  // "metric | kind | value" rendering of the non-zero snapshot entries;
+  // histograms render as one "n=.. p50=.. p90=.. p99=.." cell.
   std::string table() const;
+  // {"counters":{..},"gauges":{..},"histograms":{name:{count,sum,mean,p50,
+  // p90,p99},..}} — the --metrics-out payload, also embedded in the ledger.
+  std::string to_json() const;
 
  private:
   Metrics() = default;

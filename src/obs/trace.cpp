@@ -5,6 +5,11 @@
 #include <cstdlib>
 #include <mutex>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -17,6 +22,17 @@ std::mutex& tracer_mutex() {
   return mu;
 }
 
+// The Chrome export's tid column. Real OS thread ids where available, so the
+// trace rows line up with perf/gdb output; a process-local counter elsewhere.
+std::uint32_t os_tid() {
+#if defined(__linux__)
+  return static_cast<std::uint32_t>(::gettid());
+#else
+  static std::atomic<std::uint32_t> next_tid{0};
+  return next_tid.fetch_add(1, std::memory_order_relaxed);
+#endif
+}
+
 // Per-thread span stack (indices into Tracer::nodes_). The epoch tag lets
 // reset() invalidate every thread's stack without enumerating threads.
 struct ThreadState {
@@ -26,8 +42,7 @@ struct ThreadState {
 };
 
 ThreadState& thread_state() {
-  static std::atomic<std::uint32_t> next_tid{0};
-  thread_local ThreadState state{0, next_tid.fetch_add(1, std::memory_order_relaxed), {}};
+  thread_local ThreadState state{0, os_tid(), {}};
   return state;
 }
 
@@ -112,6 +127,43 @@ void Tracer::end_span(std::uint64_t token, std::chrono::steady_clock::time_point
   }
 }
 
+SpanContext Tracer::current_context() const {
+  if (!enabled_) return {};
+  std::lock_guard<std::mutex> lock(tracer_mutex());
+  if (!enabled_) return {};
+  ThreadState& ts = thread_state();
+  if (ts.epoch != epoch_ || ts.stack.empty()) return {};
+  return {(epoch_ << 32) | static_cast<std::uint64_t>(ts.stack.back() + 1)};
+}
+
+bool Tracer::adopt_context(SpanContext ctx) {
+  if (ctx.token == 0) return false;
+  std::lock_guard<std::mutex> lock(tracer_mutex());
+  const std::uint64_t ctx_epoch = ctx.token >> 32;
+  const int node = static_cast<int>(ctx.token & 0xffffffffu) - 1;
+  if (!enabled_ || ctx_epoch != epoch_ || static_cast<std::size_t>(node) >= nodes_.size())
+    return false;
+  ThreadState& ts = thread_state();
+  if (ts.epoch != epoch_) {
+    ts.stack.clear();
+    ts.epoch = epoch_;
+  }
+  // Adopting onto a non-empty stack would silently reparent whatever is
+  // already open; that is a caller bug, so refuse instead.
+  if (!ts.stack.empty()) return false;
+  ts.stack.push_back(node);
+  return true;
+}
+
+void Tracer::release_context(SpanContext ctx) {
+  std::lock_guard<std::mutex> lock(tracer_mutex());
+  const std::uint64_t ctx_epoch = ctx.token >> 32;
+  const int node = static_cast<int>(ctx.token & 0xffffffffu) - 1;
+  if (ctx_epoch != epoch_) return;
+  ThreadState& ts = thread_state();
+  if (ts.epoch == epoch_ && !ts.stack.empty() && ts.stack.back() == node) ts.stack.pop_back();
+}
+
 std::vector<SpanStat> Tracer::snapshot() const {
   std::lock_guard<std::mutex> lock(tracer_mutex());
   std::vector<SpanStat> out;
@@ -167,30 +219,6 @@ std::string Tracer::profile_table() const {
   return table.render();
 }
 
-namespace {
-
-void append_json_escaped(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-}  // namespace
-
 std::string Tracer::chrome_trace_json() const {
   std::lock_guard<std::mutex> lock(tracer_mutex());
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -200,7 +228,7 @@ std::string Tracer::chrome_trace_json() const {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
-    append_json_escaped(out, nodes_[static_cast<std::size_t>(e.node)].name);
+    util::append_json_escaped(out, nodes_[static_cast<std::size_t>(e.node)].name);
     out += "\",\"cat\":\"gnnmls\",\"ph\":\"X\",\"pid\":0";
     // Timestamps/durations in microseconds, the trace-event unit.
     std::snprintf(buf, sizeof buf, ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}", e.tid,

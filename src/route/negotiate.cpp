@@ -77,7 +77,11 @@ void commit_results(const NegotiationInput& in, std::span<const std::uint32_t> i
     // quality while uncontended regions keep their parallel speculative
     // result untouched).
     if (would_stress(in.grid, er, kRepairFraction) || er.overflow >= 1.0f) {
+      static obs::Histogram& edge_s = obs::Metrics::instance().histogram("route.edge_route_s");
+      const auto t0 = std::chrono::steady_clock::now();
       er = route_edge(live, t.a, t.b, t.mls);
+      edge_s.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
       ++*repairs;
     }
     in.edge_routes[t.net][t.edge] = er;
@@ -93,9 +97,16 @@ void route_tasks(const flow::Executor& ex, const NegotiationInput& in,
   results.resize(idxs.size());
   const EdgeCostModel model{in.grid, in.tech, in.options, in.history.data()};
   auto route_range = [&](std::size_t lo, std::size_t hi) {
+    // The distribution the mean hides: a handful of long congested edges
+    // dominate the tail while most route in sub-µs. Always-on (relaxed
+    // atomics), concurrent-writer safe.
+    static obs::Histogram& edge_s = obs::Metrics::instance().histogram("route.edge_route_s");
     for (std::size_t k = lo; k < hi; ++k) {
       const EdgeTask& t = in.edges[idxs[k]];
+      const auto t0 = std::chrono::steady_clock::now();
       results[k] = route_edge(model, t.a, t.b, t.mls);
+      edge_s.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
     }
   };
   if (ex.threads() <= 1 || idxs.size() <= 1) {
@@ -263,6 +274,12 @@ NegotiationStats route_negotiated(const NegotiationInput& in) {
   NegCounters& nc = NegCounters::get();
   nc.iters.add(stats.iterations);
   nc.ripups.add(stats.ripups);
+  // Distribution counterpart of the route.negotiation_iters counter: the
+  // per-call iteration count, which is bimodal (clean designs converge in
+  // 1-2, congested ones run to the cap).
+  static obs::Histogram& iters_hist =
+      obs::Metrics::instance().histogram("route.negotiation_iters_per_call");
+  iters_hist.observe(static_cast<double>(stats.iterations));
   obs::Metrics::instance().gauge("route.overflow").set(static_cast<double>(stats.final_overflow));
   util::log_debug("negotiate: ", stats.iterations, " iterations, ", stats.ripups,
                   " rip-ups, overflow ", stats.initial_overflow, " -> ", stats.final_overflow);

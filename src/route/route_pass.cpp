@@ -3,9 +3,11 @@
 #include <exception>
 
 #include "flow/registry.hpp"
+#include "ft/blackbox.hpp"
 #include "ft/error.hpp"
 #include "ft/fault_plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -36,6 +38,9 @@ void RoutePass::run(flow::PassContext& ctx) {
       static obs::Counter& degraded = obs::Metrics::instance().counter("ft.degraded");
       degraded.add(1);
       ctx.metrics.degraded = true;
+      obs::FlightRecorder::instance().record(obs::EventKind::kDegrade, "route.serial",
+                                             static_cast<std::uint64_t>(e.code()));
+      ft::dump_black_box({e}, 0, 0, "route pass degraded to the serial router");
       return router.route_all_serial(flags);
     }
   };
@@ -61,6 +66,8 @@ void RoutePass::run(flow::PassContext& ctx) {
       static obs::Counter& degraded = obs::Metrics::instance().counter("ft.degraded");
       degraded.add(1);
       ctx.metrics.degraded = true;
+      obs::FlightRecorder::instance().record(obs::EventKind::kDegrade, "route.full_reroute");
+      ft::dump_black_box({}, 0, 0, std::string("route ECO degraded to full route: ") + e.what());
       rs = router.route_all(flags);
       incremental = false;
     }

@@ -335,6 +335,11 @@ StaResult TimingGraph::update(std::span<const netlist::Id> dirty_nets) {
     StaCounters& sc = StaCounters::get();
     sc.incremental_updates.add(1);
     sc.pin_evals.add(n_evals);
+    // Cone-size distribution: whether incremental updates stay incremental
+    // (small dirty cones) or regularly degenerate to near-full sweeps.
+    static obs::Histogram& cone =
+        obs::Metrics::instance().histogram("sta.update_cone_pins");
+    cone.observe(static_cast<double>(n_evals));
   }
   util::log_debug("sta(update): ", dirty_nets.size(), " dirty nets, WNS ", result.wns_ps,
                   " ps, TNS ", result.tns_ns, " ns");

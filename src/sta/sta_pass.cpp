@@ -3,8 +3,10 @@
 #include <stdexcept>
 
 #include "flow/registry.hpp"
+#include "ft/blackbox.hpp"
 #include "ft/fault_plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -35,6 +37,9 @@ void StaPass::run(flow::PassContext& ctx) {
                      "); rebuilding the timing graph");
       static obs::Counter& rebuilds = obs::Metrics::instance().counter("ft.sta_rebuilds");
       rebuilds.add(1);
+      obs::FlightRecorder::instance().record(obs::EventKind::kDegrade, "sta.full_rebuild");
+      ft::dump_black_box({}, 0, 0,
+                         std::string("sta incremental update degraded to rebuild: ") + e.what());
     }
   }
   if (need_full) {

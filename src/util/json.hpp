@@ -1,0 +1,55 @@
+// Minimal JSON reader/writer for the observability surface.
+//
+// The repo emits JSON in several places (Chrome traces, metrics dumps, the
+// perf ledger, flight-recorder black boxes) and now also reads it back
+// (gnnmls_report diffs ledger records and google-benchmark output). This is
+// just enough recursive descent for those payloads — objects, arrays,
+// strings with escapes, numbers, true/false/null — plus the escaping and
+// number-formatting helpers the writers share. Parse failures surface as a
+// false return, never exceptions: every caller is a CLI or test that wants
+// to print the offending file name and move on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gnnmls::util {
+
+struct Json {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> items;                      // kArray
+  std::vector<std::pair<std::string, Json>> members;  // kObject
+  const Json* find(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  // Typed lookups for the common "member or default" pattern.
+  double num_or(std::string_view key, double fallback) const {
+    const Json* v = find(key);
+    return (v && v->kind == kNumber) ? v->num : fallback;
+  }
+  std::string_view str_or(std::string_view key, std::string_view fallback) const {
+    const Json* v = find(key);
+    return (v && v->kind == kString) ? std::string_view(v->str) : fallback;
+  }
+};
+
+// Parses exactly one JSON value spanning the whole input (surrounding
+// whitespace allowed). Returns false on any syntax error.
+bool parse_json(std::string_view text, Json& out);
+
+// Appends `s` with ", \, control characters escaped per RFC 8259.
+void append_json_escaped(std::string& out, std::string_view s);
+// `"escaped"` with surrounding quotes.
+std::string json_quote(std::string_view s);
+// Shortest-ish number rendering: integers without a decimal point, everything
+// else via %.17g (round-trips a double).
+std::string json_num(double v);
+
+}  // namespace gnnmls::util

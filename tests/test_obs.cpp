@@ -5,16 +5,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ft/blackbox.hpp"
 #include "mls/flow.hpp"
 #include "netlist/generators.hpp"
+#include "obs/histogram.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -453,6 +461,387 @@ TEST_F(FlowStages, EvaluateWithDftStageBreakdown) {
   EXPECT_GT(m.route_s, 0.0);
   EXPECT_GT(m.sta_s, 0.0);
   expect_stages_cover_runtime(m);
+}
+
+// ---- histograms -------------------------------------------------------------
+
+TEST(Histogram, BucketIndexCoversTheValueAndIsMonotonic) {
+  // Underflow bucket: zero, negatives, NaN, and anything below 2^kMinExp.
+  EXPECT_EQ(obs::Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(-3.5), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1e-12), 0u);
+  // Overflow bucket: +inf and anything at/above 2^kMaxExp.
+  EXPECT_EQ(obs::Histogram::bucket_of(std::numeric_limits<double>::infinity()),
+            obs::Histogram::kNumBuckets - 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(1e12), obs::Histogram::kNumBuckets - 1);
+  // In-range values land in a bucket whose edges bracket them, and the
+  // bucket index is monotone in the value.
+  std::size_t prev = 0;
+  for (double v = 1e-8; v < 1e10; v *= 1.7) {
+    const std::size_t b = obs::Histogram::bucket_of(v);
+    ASSERT_GT(b, 0u);
+    ASSERT_LT(b, obs::Histogram::kNumBuckets - 1);
+    EXPECT_LE(obs::Histogram::bucket_lower(b), v);
+    EXPECT_GT(obs::Histogram::bucket_lower(b + 1), v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Histogram, QuantilesWithinBucketResolution) {
+  obs::Histogram h;
+  // 90 observations at 1.0 and 10 at 100.0: p50 sits in 1.0's bucket, p99 in
+  // 100.0's. Bucket resolution bounds the reconstruction error at 25%
+  // (4 sub-buckets per octave).
+  for (int i = 0; i < 90; ++i) h.observe(1.0);
+  for (int i = 0; i < 10; ++i) h.observe(100.0);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 90.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.9);
+  EXPECT_NEAR(s.p50, 1.0, 0.25);
+  EXPECT_NEAR(s.p99, 100.0, 25.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+
+  h.reset();
+  const obs::HistogramSnapshot z = h.snapshot();
+  EXPECT_EQ(z.count, 0u);
+  EXPECT_DOUBLE_EQ(z.sum, 0.0);
+  EXPECT_DOUBLE_EQ(z.p99, 0.0);
+}
+
+TEST(Histogram, ConcurrentObserversHammer) {
+  obs::Histogram h;
+  constexpr int kThreads = 4, kObs = 100000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  // A reader snapshots concurrently; it must never crash or see count/sum go
+  // backwards past the final quiesced totals.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::HistogramSnapshot s = h.snapshot();
+      ASSERT_LE(s.count, static_cast<std::uint64_t>(kThreads) * kObs);
+    }
+  });
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObs; ++i) h.observe(1.0e-3);
+    });
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kObs);
+  EXPECT_NEAR(s.sum, kThreads * kObs * 1.0e-3, 1e-6);
+  EXPECT_NEAR(s.p50, 1.0e-3, 0.25e-3);
+}
+
+TEST(Metrics, HistogramRegistryKindCollisionAndTable) {
+  obs::Metrics& metrics = obs::Metrics::instance();
+  obs::Histogram& h = metrics.histogram("test.hist");
+  h.reset();
+  h.observe(2.0);
+  EXPECT_EQ(&metrics.histogram("test.hist"), &h);
+  EXPECT_THROW(metrics.counter("test.hist"), std::logic_error);
+  EXPECT_THROW(metrics.gauge("test.hist"), std::logic_error);
+  metrics.counter("test.hist_collision_counter");
+  EXPECT_THROW(metrics.histogram("test.hist_collision_counter"), std::logic_error);
+
+  bool found = false;
+  for (const auto& [name, snap] : metrics.histogram_snapshot())
+    if (name == "test.hist") {
+      found = true;
+      EXPECT_EQ(snap.count, 1u);
+    }
+  EXPECT_TRUE(found);
+  EXPECT_NE(metrics.table().find("test.hist"), std::string::npos);
+}
+
+TEST(Metrics, ToJsonParsesBack) {
+  obs::Metrics& metrics = obs::Metrics::instance();
+  metrics.reset();
+  metrics.counter("test.json_counter").add(42);
+  metrics.gauge("test.json_gauge").set(1.5);
+  obs::Histogram& h = metrics.histogram("test.json_hist");
+  for (int i = 0; i < 8; ++i) h.observe(4.0);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(metrics.to_json()).parse(root)) << metrics.to_json();
+  const JsonValue* counters = root.find("counters");
+  const JsonValue* gauges = root.find("gauges");
+  const JsonValue* hists = root.find("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* c = counters->find("test.json_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->num, 42.0);
+  const JsonValue* g = gauges->find("test.json_gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->num, 1.5);
+  const JsonValue* hv = hists->find("test.json_hist");
+  ASSERT_NE(hv, nullptr);
+  ASSERT_EQ(hv->kind, JsonValue::kObject);
+  EXPECT_DOUBLE_EQ(hv->find("count")->num, 8.0);
+  EXPECT_NEAR(hv->find("p50")->num, 4.0, 1.0);
+}
+
+// ---- flight recorder --------------------------------------------------------
+
+TEST(FlightRecorder, RecordDrainOrderPayloadAndTruncation) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  rec.reset();
+  rec.record(obs::EventKind::kPassBegin, "route", 3, 1);
+  rec.record(obs::EventKind::kCommit, "routes", 17);
+  const std::string long_what(200, 'x');
+  rec.record(obs::EventKind::kMark, long_what);
+  EXPECT_EQ(rec.recorded(), 3u);
+
+  const std::vector<obs::FlightEvent> events = rec.drain();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ordinal, 1u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kPassBegin);
+  EXPECT_EQ(events[0].what, "route");
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[0].b, 1u);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kCommit);
+  EXPECT_EQ(events[1].a, 17u);
+  EXPECT_EQ(events[2].what, long_what.substr(0, obs::FlightRecorder::kWhatBytes));
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const auto& x, const auto& y) { return x.ordinal < y.ordinal; }));
+  EXPECT_LE(events[0].t_ns, events[2].t_ns);
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheLastEventsPerThread) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  rec.reset();
+  constexpr std::uint64_t kTotal = obs::FlightRecorder::kRingEvents + 50;
+  for (std::uint64_t i = 1; i <= kTotal; ++i) rec.record(obs::EventKind::kMark, "m", i);
+  EXPECT_EQ(rec.recorded(), kTotal);
+  const std::vector<obs::FlightEvent> events = rec.drain();
+  ASSERT_EQ(events.size(), obs::FlightRecorder::kRingEvents);
+  EXPECT_EQ(events.front().ordinal, kTotal - obs::FlightRecorder::kRingEvents + 1);
+  EXPECT_EQ(events.back().ordinal, kTotal);
+  EXPECT_EQ(events.back().a, kTotal);
+}
+
+TEST(FlightRecorder, EventsJsonParses) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  rec.reset();
+  rec.record(obs::EventKind::kDegrade, "decide.\"sota\"", 7);  // escaping must survive
+  rec.record(obs::EventKind::kRetry, "route", 1, 2);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(rec.events_json()).parse(root)) << rec.events_json();
+  ASSERT_EQ(root.kind, JsonValue::kArray);
+  ASSERT_EQ(root.items.size(), 2u);
+  EXPECT_EQ(root.items[0].find("kind")->str, "degrade");
+  EXPECT_EQ(root.items[0].find("what")->str, "decide.\"sota\"");
+  EXPECT_DOUBLE_EQ(root.items[1].find("a")->num, 1.0);
+  // max_events keeps only the tail.
+  JsonValue tail;
+  ASSERT_TRUE(JsonParser(rec.events_json(1)).parse(tail));
+  ASSERT_EQ(tail.items.size(), 1u);
+  EXPECT_EQ(tail.items[0].find("kind")->str, "retry");
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndDrainHammer) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  rec.reset();
+  constexpr int kThreads = 4, kEvents = 10000;
+  std::atomic<bool> stop{false};
+  // Concurrent drains must never crash, tear an event (invalid kind), or
+  // report an ordinal above the record() high-water mark.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const obs::FlightEvent& e : rec.drain()) {
+        ASSERT_LE(static_cast<int>(e.kind), static_cast<int>(obs::EventKind::kFaultTrip));
+        ASSERT_LE(e.ordinal, rec.recorded());
+      }
+    }
+  });
+  // Writers stay alive until everyone has finished recording: a thread that
+  // exits releases its ring for reuse (by design), and a recycled ring would
+  // overwrite another writer's events and break the per-thread count below.
+  std::atomic<int> writing{kThreads};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&rec, &writing, t] {
+      for (int i = 0; i < kEvents; ++i)
+        rec.record(obs::EventKind::kMark, "hammer", static_cast<std::uint64_t>(t),
+                   static_cast<std::uint64_t>(i));
+      writing.fetch_sub(1, std::memory_order_acq_rel);
+      while (writing.load(std::memory_order_acquire) > 0) std::this_thread::yield();
+    });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(kThreads) * kEvents);
+  // Quiesced: every surviving slot is intact, ordinals are unique, and each
+  // writer thread's ring retains exactly its last kRingEvents events.
+  const std::vector<obs::FlightEvent> events = rec.drain();
+  EXPECT_EQ(events.size(), static_cast<std::size_t>(kThreads) * obs::FlightRecorder::kRingEvents);
+  std::vector<std::uint64_t> ordinals;
+  for (const obs::FlightEvent& e : events) {
+    ordinals.push_back(e.ordinal);
+    EXPECT_EQ(e.what, "hammer");
+  }
+  std::sort(ordinals.begin(), ordinals.end());
+  EXPECT_EQ(std::adjacent_find(ordinals.begin(), ordinals.end()), ordinals.end());
+}
+
+// ---- cross-thread span context ----------------------------------------------
+
+TEST(Tracer, ContextGuardParentsWorkerSpans) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.set_enabled(true);
+  {
+    obs::Span parent("ctx.parent");
+    const obs::SpanContext ctx = tracer.current_context();
+    EXPECT_NE(ctx.token, 0u);
+    std::thread worker([ctx] {
+      obs::ContextGuard guard(ctx);
+      obs::Span child("ctx.child");
+      spin_for_us(50);
+    });
+    worker.join();
+  }
+  tracer.set_enabled(false);
+  const std::vector<obs::SpanStat> stats = tracer.snapshot();
+  const obs::SpanStat* parent = find_stat(stats, "ctx.parent");
+  const obs::SpanStat* child = find_stat(stats, "ctx.child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->depth, 1);  // nested under the adopted parent, not a root
+  EXPECT_EQ(child->parent, static_cast<int>(parent - stats.data()));
+}
+
+TEST(Tracer, ContextGuardWithDeadContextIsANoop) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.set_enabled(true);
+  const obs::SpanContext stale = tracer.current_context();  // no open span: token 0
+  EXPECT_EQ(stale.token, 0u);
+  std::thread worker([stale] {
+    obs::ContextGuard guard(stale);
+    obs::Span orphan("ctx.orphan");
+  });
+  worker.join();
+  tracer.set_enabled(false);
+  const std::vector<obs::SpanStat> stats = tracer.snapshot();
+  const obs::SpanStat* orphan = find_stat(stats, "ctx.orphan");
+  ASSERT_NE(orphan, nullptr);
+  EXPECT_EQ(orphan->depth, 0);  // recorded as a root, never mis-parented
+}
+
+// ---- perf ledger ------------------------------------------------------------
+
+TEST(Ledger, RecordRoundTripsThroughJson) {
+  obs::LedgerRecord rec;
+  rec.kind = "flow";
+  rec.rev = "abc123";
+  rec.utc = "2026-08-08T00:00:00Z";
+  rec.label = "maeri16/sota+dft";
+  rec.stages["route"] = 0.125;
+  rec.stages["sta"] = 0.0625;
+  rec.counters["route.nets_routed"] = 420;
+  rec.gauges["route.overflow"] = 0;
+  rec.hists["route.edge_route_s"] = {100, 2e-4, 1e-6, 2e-6, 5e-6};
+  rec.fingerprint = "0x00000000deadbeef";
+
+  obs::LedgerRecord back;
+  ASSERT_TRUE(obs::parse_record(obs::to_json(rec), back)) << obs::to_json(rec);
+  EXPECT_EQ(back.schema, 1);
+  EXPECT_EQ(back.kind, "flow");
+  EXPECT_EQ(back.rev, "abc123");
+  EXPECT_EQ(back.label, "maeri16/sota+dft");
+  EXPECT_DOUBLE_EQ(back.stages.at("route"), 0.125);
+  EXPECT_DOUBLE_EQ(back.counters.at("route.nets_routed"), 420.0);
+  EXPECT_DOUBLE_EQ(back.hists.at("route.edge_route_s").p99, 5e-6);
+  EXPECT_EQ(back.fingerprint, "0x00000000deadbeef");
+
+  // Unknown future schemas are rejected, not misread.
+  std::string future = obs::to_json(rec);
+  const std::size_t pos = future.find("\"schema\":1");
+  ASSERT_NE(pos, std::string::npos);
+  future.replace(pos, 10, "\"schema\":9");
+  EXPECT_FALSE(obs::parse_record(future, back));
+  EXPECT_FALSE(obs::parse_record("not json", back));
+}
+
+TEST(Ledger, AppendAndReadJsonlSkipsBadLines) {
+  const std::string path = ::testing::TempDir() + "/gnnmls_ledger_test.jsonl";
+  std::remove(path.c_str());
+  obs::LedgerRecord a = obs::make_record("flow", "first");
+  a.stages["route"] = 1.0;
+  obs::LedgerRecord b = obs::make_record("flow", "second");
+  b.stages["route"] = 2.0;
+  ASSERT_TRUE(obs::append_jsonl(path, a));
+  {
+    std::ofstream f(path, std::ios::app);
+    f << "this line is garbage\n";
+  }
+  ASSERT_TRUE(obs::append_jsonl(path, b));
+  const std::vector<obs::LedgerRecord> records = obs::read_jsonl(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].label, "first");
+  EXPECT_EQ(records[1].label, "second");
+  EXPECT_FALSE(records[0].utc.empty());
+  EXPECT_DOUBLE_EQ(records[1].stages.at("route"), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(Ledger, DiffStagesFlagsOnlyRealRegressions) {
+  obs::LedgerRecord base, cur;
+  base.stages["route"] = 1.0;
+  cur.stages["route"] = 1.25;  // +25%: flagged
+  base.stages["sta"] = 1.0;
+  cur.stages["sta"] = 1.05;  // +5%: under the pct threshold
+  base.stages["decide"] = 0.0001;
+  cur.stages["decide"] = 0.0002;  // +100% but under the absolute floor
+  base.stages["gone"] = 1.0;      // only in base: ignored
+  cur.stages["new"] = 1.0;        // only in cur: ignored
+  base.stages["check"] = 2.0;
+  cur.stages["check"] = 3.0;  // +50%: flagged, and worse than route
+
+  const std::vector<obs::StageRegression> out = obs::diff_stages(base, cur, 10.0, 0.01);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].stage, "check");  // sorted worst-first
+  EXPECT_NEAR(out[0].pct, 50.0, 1e-9);
+  EXPECT_EQ(out[1].stage, "route");
+  EXPECT_NEAR(out[1].pct, 25.0, 1e-9);
+  EXPECT_TRUE(obs::diff_stages(base, base, 10.0, 0.01).empty());
+}
+
+// ---- black-box dumps --------------------------------------------------------
+
+TEST(BlackBox, JsonCarriesFailureContextAndRecorderTail) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::instance();
+  rec.reset();
+  rec.record(obs::EventKind::kPassBegin, "route", 2, 1);
+  rec.record(obs::EventKind::kPassFail, "route", 2, 3);
+  const ft::FlowError err(ft::ErrorCode::kInjectedFault, "route", "routes", 41, true,
+                          "injected \"fault\"");
+  const std::string json = ft::black_box_json({err}, 2, 1, "wave failed");
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << json;
+  EXPECT_DOUBLE_EQ(root.find("schema")->num, 1.0);
+  EXPECT_DOUBLE_EQ(root.find("wave")->num, 2.0);
+  EXPECT_EQ(root.find("note")->str, "wave failed");
+  const JsonValue* failures = root.find("failures");
+  ASSERT_NE(failures, nullptr);
+  ASSERT_EQ(failures->items.size(), 1u);
+  EXPECT_EQ(failures->items[0].find("pass")->str, "route");
+  EXPECT_EQ(failures->items[0].find("stage")->str, "routes");
+  EXPECT_DOUBLE_EQ(failures->items[0].find("db_revision")->num, 41.0);
+  EXPECT_EQ(failures->items[0].find("retryable")->kind, JsonValue::kBool);
+  const JsonValue* events = root.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 2u);
+  EXPECT_EQ(events->items[1].find("kind")->str, "pass_fail");
 }
 
 TEST_F(FlowStages, FlowPopulatesMetricsRegistry) {

@@ -14,8 +14,10 @@
 //   $ gnnmls_lint --audit                      # runtime contract audit
 //   $ gnnmls_lint --design maeri16 --profile --trace-out trace.json
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "flow/registry.hpp"
 #include "ft/fault_plan.hpp"
 #include "mls/flow.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -62,12 +65,19 @@ void usage(std::FILE* to) {
                "                   the metrics ledger after the report\n"
                "  --trace-out F    write a Chrome trace-event JSON (chrome://tracing)\n"
                "                   of the flow to F (implies tracing)\n"
+               "  --metrics-out F  dump the end-of-run obs::Metrics snapshot (counters,\n"
+               "                   gauges, histogram quantiles) as JSON to F\n"
+               "  --ledger F       append one schema-versioned perf-ledger record (JSONL)\n"
+               "                   for this run to F; diff runs with gnnmls_report\n"
                "  --verbose        flow progress on stderr\n"
                "env: GNNMLS_TRACE=F traces any run; GNNMLS_LOG_LEVEL sets verbosity;\n"
                "     GNNMLS_FAULT=S[:n][,...] arms fault sites like --inject-flow;\n"
                "     GNNMLS_FT=off disables transactional recovery; GNNMLS_MAX_RETRIES,\n"
                "     GNNMLS_BACKOFF_MS, GNNMLS_PASS_BUDGET_S tune the retry policy;\n"
-               "     GNNMLS_AUDIT=1 enables the contract audit like --audit\n");
+               "     GNNMLS_AUDIT=1 enables the contract audit like --audit;\n"
+               "     GNNMLS_LEDGER=F appends a ledger record like --ledger;\n"
+               "     GNNMLS_GIT_REV stamps ledger records with the git revision;\n"
+               "     GNNMLS_FLIGHT_OUT=F|off sets the flight-recorder dump path\n");
 }
 
 netlist::Design make_design(const std::string& name, std::uint64_t seed) {
@@ -176,6 +186,9 @@ int main(int argc, char** argv) {
   std::string strategy = "none";
   std::string injection;
   std::string trace_out;
+  std::string metrics_out;
+  std::string ledger_path;
+  if (const char* env = std::getenv("GNNMLS_LEDGER"); env && *env) ledger_path = env;
   std::vector<std::string> only;
   std::uint64_t seed = 0;
   bool hetero = true, run_pdn = true, with_dft = false, verbose = false, profile = false;
@@ -218,6 +231,10 @@ int main(int argc, char** argv) {
     else if (arg == "--only") only = split_csv(value());
     else if (arg == "--profile") profile = true;
     else if (arg == "--trace-out") trace_out = value();
+    else if (arg.rfind("--metrics-out=", 0) == 0) metrics_out = arg.substr(14);
+    else if (arg == "--metrics-out") metrics_out = value();
+    else if (arg.rfind("--ledger=", 0) == 0) ledger_path = arg.substr(9);
+    else if (arg == "--ledger") ledger_path = value();
     else if (arg == "--verbose") verbose = true;
     else if (arg == "--help" || arg == "-h") { usage(stdout); return 0; }
     else {
@@ -385,6 +402,37 @@ int main(int argc, char** argv) {
                   trace_out.c_str());
     else
       std::fprintf(stderr, "gnnmls_lint: could not write trace to %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream f(metrics_out);
+    if (f) {
+      f << obs::Metrics::instance().to_json() << "\n";
+      std::printf("gnnmls_lint: wrote metrics snapshot to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "gnnmls_lint: could not write metrics to %s\n", metrics_out.c_str());
+    }
+  }
+  if (!ledger_path.empty()) {
+    std::string label = design_name + "/" + strategy;
+    if (with_dft) label += "+dft";
+    obs::LedgerRecord rec = obs::make_record("flow", label);
+    rec.stages["route"] = flow_metrics.route_s;
+    rec.stages["sta"] = flow_metrics.sta_s;
+    rec.stages["power"] = flow_metrics.power_s;
+    rec.stages["pdn"] = flow_metrics.pdn_s;
+    rec.stages["check"] = flow_metrics.check_s;
+    rec.stages["decide"] = flow_metrics.decide_s;
+    rec.stages["dft"] = flow_metrics.dft_s;
+    rec.stages["tx"] = flow_metrics.tx_s;
+    rec.stages["runtime"] = flow_metrics.runtime_s;
+    char fp[20];
+    std::snprintf(fp, sizeof fp, "0x%016llx",
+                  static_cast<unsigned long long>(flow.db().state_fingerprint()));
+    rec.fingerprint = fp;
+    if (obs::append_jsonl(ledger_path, rec))
+      std::printf("gnnmls_lint: appended ledger record to %s\n", ledger_path.c_str());
+    else
+      std::fprintf(stderr, "gnnmls_lint: could not append ledger to %s\n", ledger_path.c_str());
   }
 
   if (!report.clean()) {
