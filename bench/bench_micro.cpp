@@ -12,6 +12,8 @@
 #include "dft/faults.hpp"
 #include "flow/registry.hpp"
 #include "ml/dgi.hpp"
+#include "ml/engine.hpp"
+#include "ml/kernels.hpp"
 #include "ml/mlp.hpp"
 #include "mls/flow.hpp"
 #include "obs/metrics.hpp"
@@ -173,6 +175,59 @@ void BM_TransformerForward(benchmark::State& st) {
       static_cast<double>(n) * static_cast<double>(st.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TransformerForward)->Arg(8)->Arg(24)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// ---- BM_MlEngine: the batched SIMD inference engine -------------------------
+
+// Raw f32 GEMM kernel at the engine's workhorse shape (a 16-graph batch of
+// 24-node paths projected through dim 48). Arg 0 = scalar table, 1 = the
+// dispatched SIMD table (falls back to scalar on non-AVX2 hosts).
+void BM_MlGemm(benchmark::State& st) {
+  constexpr int kM = 384, kK = 48, kN = 48;
+  util::Rng rng(7);
+  std::vector<float> a(static_cast<std::size_t>(kM) * kK);
+  std::vector<float> b(static_cast<std::size_t>(kK) * kN);
+  std::vector<float> c(static_cast<std::size_t>(kM) * kN, 0.0f);
+  for (float& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const ml::Kernels& ker = ml::kernels_for(static_cast<ml::SimdLevel>(st.range(0)));
+  for (auto _ : st) {
+    ker.gemm(kM, kK, kN, a.data(), b.data(), c.data(), true);
+    benchmark::ClobberMemory();  // see BM_FlowStages: lvalue DoNotOptimize miscompiles
+  }
+  st.counters["flops/s"] = benchmark::Counter(
+      2.0 * kM * kK * kN * static_cast<double>(st.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MlGemm)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// Batched float32 forward over a synthetic corpus (cache off): the per-path
+// amortized cost the engine buys over the per-graph double-precision stack.
+void BM_MlBatchedForward(benchmark::State& st) {
+  util::Rng rng(3);
+  ml::TransformerConfig cfg;
+  ml::GraphTransformer enc(cfg, rng);
+  ml::MlpHead head(cfg.dim, 24, rng);
+  constexpr int kGraphs = 64, kNodes = 24;
+  std::vector<ml::PathGraph> graphs(kGraphs);
+  for (ml::PathGraph& g : graphs) {
+    g.x = ml::Mat::xavier(kNodes, cfg.input_features, rng);
+    g.adj = ml::chain_adjacency(kNodes);
+    g.net_ids.resize(kNodes);
+    for (int i = 0; i < kNodes; ++i) g.net_ids[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i);
+  }
+  ml::FeatureScaler scaler;
+  scaler.fit(graphs);
+  ml::EngineOptions opts;
+  opts.cache_enabled = false;  // measure the forward, not the cache
+  ml::InferenceEngine eng(enc, head, scaler, opts);
+  for (auto _ : st) {
+    benchmark::DoNotOptimize(eng.predict(graphs));
+    benchmark::ClobberMemory();
+  }
+  st.counters["paths/s"] = benchmark::Counter(
+      static_cast<double>(kGraphs) * static_cast<double>(st.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MlBatchedForward)->Unit(benchmark::kMillisecond);
 
 void BM_TransformerTrainStep(benchmark::State& st) {
   util::Rng rng(2);
@@ -454,28 +509,34 @@ void BM_AuditOverhead(benchmark::State& st) {
 }
 BENCHMARK(BM_AuditOverhead)->Unit(benchmark::kMillisecond);
 
+// One tiny-but-real engine per inference path (scaler fitted by a 1-epoch
+// pretrain), reused across iterations; the measured region is exactly the
+// decision stage. Both paths share seed 42 so they carry identical weights.
+struct DecideBenchState {
+  explicit DecideBenchState(mls::MlEnginePath path) {
+    auto& f = *state().flow;
+    mls::GnnMlsConfig cfg;
+    cfg.dgi.epochs = 1;
+    cfg.fine_tune.epochs = 2;
+    cfg.ml_engine = path;
+    engine = std::make_unique<mls::GnnMlsEngine>(cfg);
+    engine->pretrain(f.corpus(corpus()).graphs);
+  }
+  static mls::CorpusOptions corpus() {
+    mls::CorpusOptions co;
+    co.max_paths = 120;
+    co.attach_labels = false;
+    return co;
+  }
+  std::unique_ptr<mls::GnnMlsEngine> engine;
+};
+
+// Scalar double-precision baseline (the pre-engine reference path; the
+// check-ml gate measures BM_DecideStageBatched against this row).
 void BM_DecideStage(benchmark::State& st) {
-  // One tiny-but-real engine (scaler fitted by a 1-epoch pretrain) reused
-  // across iterations; the measured region is exactly the decision stage.
-  struct DecideState {
-    DecideState() {
-      auto& f = *state().flow;
-      mls::GnnMlsConfig cfg;
-      cfg.dgi.epochs = 1;
-      cfg.fine_tune.epochs = 2;
-      engine = std::make_unique<mls::GnnMlsEngine>(cfg);
-      mls::CorpusOptions co;
-      co.max_paths = 120;
-      co.attach_labels = false;
-      engine->pretrain(f.corpus(co).graphs);
-    }
-    std::unique_ptr<mls::GnnMlsEngine> engine;
-  };
-  static DecideState ds;
+  static DecideBenchState ds(mls::MlEnginePath::kScalar);
   auto& f = *state().flow;
-  mls::CorpusOptions co;
-  co.max_paths = 120;
-  co.attach_labels = false;
+  const mls::CorpusOptions co = DecideBenchState::corpus();
   double decide_s = 0.0;
   for (auto _ : st) {
     obs::Span span("bench.decide");
@@ -487,6 +548,40 @@ void BM_DecideStage(benchmark::State& st) {
   st.counters["decide_s"] = decide_s;
 }
 BENCHMARK(BM_DecideStage)->Unit(benchmark::kMillisecond);
+
+// Batched SIMD engine, cold cache every iteration: the honest engine-vs-
+// scalar comparison (>= 5x is the PR's acceptance gate in check-ml).
+void BM_DecideStageBatched(benchmark::State& st) {
+  static DecideBenchState ds(mls::MlEnginePath::kBatched);
+  auto& f = *state().flow;
+  const mls::CorpusOptions co = DecideBenchState::corpus();
+  for (auto _ : st) {
+    ds.engine->clear_inference_cache();
+    benchmark::DoNotOptimize(
+        ds.engine->decide(f.design(), f.tech(), f.router(), f.sta(), co));
+  }
+}
+BENCHMARK(BM_DecideStageBatched)->Unit(benchmark::kMillisecond);
+
+// Warm embedding cache: nothing changed since the last decide, so inference
+// should be pure cache hits (cache_hit_pct is gated >= 90 in check-ml).
+void BM_DecideStageCached(benchmark::State& st) {
+  static DecideBenchState ds(mls::MlEnginePath::kBatched);
+  auto& f = *state().flow;
+  const mls::CorpusOptions co = DecideBenchState::corpus();
+  ds.engine->decide(f.design(), f.tech(), f.router(), f.sta(), co);  // fill the cache
+  const ml::EngineStats before = *ds.engine->inference_stats();
+  for (auto _ : st) {
+    benchmark::DoNotOptimize(
+        ds.engine->decide(f.design(), f.tech(), f.router(), f.sta(), co));
+  }
+  const ml::EngineStats& after = *ds.engine->inference_stats();
+  const double hits = static_cast<double>(after.cache_hits - before.cache_hits);
+  const double misses = static_cast<double>(after.cache_misses - before.cache_misses);
+  st.counters["cache_hit_pct"] =
+      hits + misses > 0.0 ? hits / (hits + misses) * 100.0 : 0.0;
+}
+BENCHMARK(BM_DecideStageCached)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -90,9 +90,9 @@ echo "==> chaos gate: every injectable fault must recover with zero leaked state
 # One lint run per CLI-reachable fault site (--list-fault-sites is the
 # catalogue). Each run must (a) actually trip the armed site, (b) exit clean
 # after retry/rollback, and (c) report leaked=0 — the rolled-back DB was
-# fingerprint-identical to its pre-wave self. route.eco / sta.update /
-# decide.infer need a mid-run mutation or a GNN engine the CLI does not
-# stage; tests/test_ft.cpp covers those degradation paths.
+# fingerprint-identical to its pre-wave self. route.eco / sta.update need a
+# mid-run mutation the CLI does not stage (tests/test_ft.cpp covers those);
+# decide.infer runs with a live engine in the ml-engine chaos gate below.
 # One site, one run: must trip, recover, leak nothing — and leave a flight-
 # recorder black box (ft::dump_black_box via GNNMLS_FLIGHT_OUT) whose failure
 # context names the failing pass (the site's "pass." prefix) and whose event
@@ -160,6 +160,46 @@ echo "==> perf smoke: routing engines (serial vs sharded negotiated, BENCH_routi
 # first-class subcommand (gnnmls_report check-routing) so the gate runs on
 # python-less runners and its logic is unit-testable C++.
 ./build/tools/gnnmls_report check-routing BENCH_routing.json
+
+echo "==> perf smoke: ML inference engine (scalar vs batched vs cached, BENCH_ml.json)"
+# BM_DecideStage is the double-precision per-graph reference; Batched runs
+# the float32 SIMD engine cold (cache cleared every iteration) and Cached
+# re-decides against a warm embedding cache, exporting cache_hit_pct. The
+# longer min_time stabilizes the scalar baseline on noisy runners — the
+# check-ml gate enforces >= 5x cold speedup, warm <= cold, and >= 90% hits.
+./build/bench/bench_micro \
+  --benchmark_filter='BM_MlGemm|BM_MlBatchedForward|BM_DecideStage' \
+  --benchmark_out=BENCH_ml.json --benchmark_out_format=json \
+  --benchmark_min_time=0.3
+./build/tools/gnnmls_report ingest BENCH_ml.json --ledger PERF_LEDGER.jsonl --label ml-micro
+./build/tools/gnnmls_report check-ml BENCH_ml.json
+
+echo "==> ml-engine gate: --strategy gnn decides through the batched SIMD engine"
+# The lint stages a small engine and prints one greppable ml-engine line;
+# the default path must be the batched engine actually serving paths, and
+# --ml-engine=scalar must still select the reference stack.
+./build/tools/gnnmls_lint --design maeri16 --strategy gnn | tee LINT_gnn.txt
+grep -qE 'ml-engine: path=batched simd=(avx2|scalar) batches=[1-9]' LINT_gnn.txt
+grep -q 'recovery: degraded=0 retries=0 rollbacks=0 faults_injected=0 leaked=0' LINT_gnn.txt
+rm -f LINT_gnn.txt
+./build/tools/gnnmls_lint --design maeri16 --strategy gnn --ml-engine=scalar \
+  | grep -q 'ml-engine: path=scalar'
+echo "ml-engine gate OK"
+
+echo "==> chaos gate: decide.infer with a live engine degrades to SOTA, no leaks"
+# The engine-backed decide pass absorbs an injected inference fault by
+# falling back to the SOTA heuristic: the run must complete (exit 0) with
+# the degradation declared and zero leaked rollback state.
+out="$(./build/tools/gnnmls_lint --design maeri16 --strategy gnn --inject-flow=decide.infer)" \
+  || { echo "chaos gate FAILED: decide.infer did not recover"; echo "${out}"; exit 1; }
+grep -q 'faults_injected=1' <<<"${out}" \
+  || { echo "chaos gate FAILED: decide.infer never tripped"; echo "${out}"; exit 1; }
+grep -q 'degraded=1' <<<"${out}" \
+  || { echo "chaos gate FAILED: decide.infer did not declare the SOTA fallback"; \
+       echo "${out}"; exit 1; }
+grep -q 'leaked=0' <<<"${out}" \
+  || { echo "chaos gate FAILED: decide.infer leaked rollback state"; echo "${out}"; exit 1; }
+echo "chaos OK: decide.infer (degraded to SOTA)"
 
 echo "==> perf smoke: observability primitives (BENCH_obs.json)"
 # The always-on instrumentation cost model: a disabled span, a counter add,
@@ -231,9 +271,12 @@ if [[ "${FAST}" == "0" ]]; then
   # clock; these binaries cover every concurrent path.)
   cmake -B build-tsan -S . -DGNNMLS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "${JOBS}" \
-    --target test_flow_passes test_ft test_audit test_route test_obs gnnmls_lint
+    --target test_flow_passes test_ft test_audit test_route test_obs test_ml_engine \
+             gnnmls_lint
   # test_obs carries the histogram/flight-recorder concurrent-writer hammers.
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_obs
+  # test_ml_engine drives the batched forward across Executor worker threads.
+  TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_ml_engine
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_flow_passes
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_ft
   TSAN_OPTIONS=halt_on_error=1 GNNMLS_THREADS=4 ./build-tsan/tests/test_audit

@@ -1,5 +1,7 @@
 #include "core/design_db.hpp"
 
+#include "core/fingerprint.hpp"
+
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
@@ -339,19 +341,11 @@ std::vector<Stage> DesignDB::open_writes() const {
 }
 
 std::uint64_t DesignDB::state_fingerprint() const {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  };
-  auto mix_f = [&mix](double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(double) == sizeof(bits));
-    std::memcpy(&bits, &v, sizeof(bits));
-    mix(bits);
-  };
+  // Shared FNV-1a accumulator (core/fingerprint.hpp): byte-for-byte the same
+  // mixing the ML engine uses for graph cache keys.
+  Fnv1a fnv;
+  auto mix = [&fnv](std::uint64_t v) { fnv.mix(v); };
+  auto mix_f = [&fnv](double v) { fnv.mix_double(v); };
   for (const StageTag& t : tags_) {
     mix(t.revision);
     mix(t.built_from);
@@ -437,7 +431,7 @@ std::uint64_t DesignDB::state_fingerprint() const {
   }
   if (test_model_) mix(1);
   for (const auto& open : write_open_) mix(open.load(std::memory_order_relaxed));
-  return h;
+  return fnv.value();
 }
 
 }  // namespace gnnmls::core

@@ -1,0 +1,94 @@
+#include "ml/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/fingerprint.hpp"
+
+namespace gnnmls::ml {
+
+PackedBatch pack(std::span<const PathGraph* const> graphs, const FeatureScaler& scaler) {
+  PackedBatch batch;
+  batch.graphs = static_cast<int>(graphs.size());
+  if (graphs.empty()) return batch;
+  batch.features = graphs.front()->x.cols();
+  for (const PathGraph* g : graphs) {
+    if (g->x.cols() != batch.features)
+      throw std::invalid_argument("pack: mixed feature widths in one batch");
+    batch.max_nodes = std::max(batch.max_nodes, g->x.rows());
+  }
+  const int f = batch.features;
+  batch.nodes.reserve(graphs.size());
+  batch.row_offset.reserve(graphs.size());
+  batch.adj_offset.reserve(graphs.size());
+  batch.sources.assign(graphs.begin(), graphs.end());
+  std::size_t adj_total = 0;
+  for (const PathGraph* g : graphs) {
+    const int n = g->x.rows();
+    batch.nodes.push_back(n);
+    batch.row_offset.push_back(batch.total_rows);
+    batch.adj_offset.push_back(static_cast<int>(adj_total));
+    batch.total_rows += n;
+    adj_total += static_cast<std::size_t>(n) * n;
+  }
+  batch.x.resize(static_cast<std::size_t>(batch.total_rows) * f);
+  batch.adj.assign(adj_total, 0.0f);
+
+  const std::vector<double>& mean = scaler.mean();
+  const std::vector<double>& stddev = scaler.stddev();
+  if (static_cast<int>(mean.size()) != f)
+    throw std::invalid_argument("pack: scaler/feature width mismatch");
+
+  for (int g = 0; g < batch.graphs; ++g) {
+    const PathGraph& src = *graphs[static_cast<std::size_t>(g)];
+    const int n = batch.nodes[static_cast<std::size_t>(g)];
+    float* xg = batch.x.data() +
+                static_cast<std::size_t>(batch.row_offset[static_cast<std::size_t>(g)]) * f;
+    for (int i = 0; i < n; ++i) {
+      const double* row = src.x.row(i);
+      float* out = xg + static_cast<std::size_t>(i) * f;
+      for (int j = 0; j < f; ++j) {
+        const double s = stddev[static_cast<std::size_t>(j)];
+        // Normalize in double then round once, so the batched path sees the
+        // same values as FeatureScaler::apply up to one float rounding.
+        out[j] = static_cast<float>((row[j] - mean[static_cast<std::size_t>(j)]) /
+                                    (s > 1e-12 ? s : 1.0));
+      }
+    }
+    if (!src.adj.empty()) {
+      float* ag = batch.adj.data() + batch.adj_offset[static_cast<std::size_t>(g)];
+      for (int i = 0; i < n; ++i) {
+        const double* row = src.adj.row(i);
+        for (int j = 0; j < n; ++j)
+          ag[static_cast<std::size_t>(i) * n + j] = static_cast<float>(row[j]);
+      }
+    }
+  }
+  return batch;
+}
+
+std::uint64_t graph_fingerprint(const PathGraph& g) {
+  // Word-wise mixing (not the byte loop DesignDB uses for its stable state
+  // fingerprints): this hash is recomputed for every graph on every decide,
+  // so it has to be cheap. Adjacency is hashed as (position, value) pairs of
+  // its nonzeros — path graphs are chains, so that is O(n), not O(n^2).
+  core::Fnv1a fnv;
+  fnv.mix_word(static_cast<std::uint64_t>(g.x.rows()));
+  fnv.mix_word(static_cast<std::uint64_t>(g.x.cols()));
+  for (const double v : g.x.data()) fnv.mix_double_word(v);
+  fnv.mix_word(static_cast<std::uint64_t>(g.adj.rows()));
+  const std::size_t adj_count = g.adj.data().size();
+  for (std::size_t i = 0; i < adj_count; ++i) {
+    const double v = g.adj.data()[i];
+    if (v != 0.0) {
+      fnv.mix_word(static_cast<std::uint64_t>(i));
+      fnv.mix_double_word(v);
+    }
+  }
+  fnv.mix_word(g.net_ids.size());
+  for (const std::uint32_t n : g.net_ids) fnv.mix_word(n);
+  fnv.mix_word(static_cast<std::uint64_t>(g.design_tag));
+  return fnv.value();
+}
+
+}  // namespace gnnmls::ml

@@ -39,6 +39,17 @@ void FeatureScaler::apply(PathGraph& g) const {
     }
 }
 
+void FeatureScaler::apply_into(const Mat& src, Mat& dst) const {
+  const int f = static_cast<int>(mean_.size());
+  if (src.cols() != f) throw std::invalid_argument("scaler/feature width mismatch");
+  if (dst.rows() != src.rows() || dst.cols() != f) dst = Mat(src.rows(), f);
+  for (int i = 0; i < src.rows(); ++i)
+    for (int j = 0; j < f; ++j) {
+      const double s = stddev_[static_cast<std::size_t>(j)];
+      dst.at(i, j) = (src.at(i, j) - mean_[static_cast<std::size_t>(j)]) / (s > 1e-12 ? s : 1.0);
+    }
+}
+
 Mat chain_adjacency(int n) {
   Mat adj(n, n);
   for (int i = 0; i + 1 < n; ++i) {

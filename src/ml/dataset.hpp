@@ -32,6 +32,9 @@ class FeatureScaler {
  public:
   void fit(std::span<const PathGraph> graphs);
   void apply(PathGraph& g) const;
+  // Normalizes `src` into `dst` without touching the graph — the hot predict
+  // path reuses one scratch matrix instead of copying the whole PathGraph.
+  void apply_into(const Mat& src, Mat& dst) const;
   int features() const { return static_cast<int>(mean_.size()); }
   const std::vector<double>& mean() const { return mean_; }
   const std::vector<double>& stddev() const { return stddev_; }

@@ -39,6 +39,10 @@ class Linear : public Layer {
   Mat backward(const Mat& dy);
   std::vector<Param*> params() override { return {&w_, &b_}; }
 
+  // Read-only weight views for the float32 inference engine's snapshot.
+  const Mat& weight() const { return w_.value; }
+  const Mat& bias() const { return b_.value; }
+
  private:
   Param w_;
   Param b_;
@@ -64,6 +68,10 @@ class LayerNorm : public Layer {
   Mat backward(const Mat& dy);
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
 
+  const Mat& gamma() const { return gamma_.value; }
+  const Mat& beta() const { return beta_.value; }
+  static constexpr double eps() { return kEps; }
+
  private:
   Param gamma_;
   Param beta_;
@@ -88,6 +96,13 @@ class MultiHeadAttention : public Layer {
     return {&wq_, &wk_, &wv_, &wo_, &edge_bias_};
   }
 
+  const Mat& wq() const { return wq_.value; }
+  const Mat& wk() const { return wk_.value; }
+  const Mat& wv() const { return wv_.value; }
+  const Mat& wo() const { return wo_.value; }
+  const Mat& edge_bias() const { return edge_bias_.value; }
+  int heads() const { return heads_; }
+
  private:
   int dim_, heads_, head_dim_;
   Param wq_, wk_, wv_, wo_;
@@ -106,6 +121,9 @@ class FeedForward : public Layer {
   Mat forward(const Mat& x);
   Mat backward(const Mat& dy);
   std::vector<Param*> params() override;
+
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
 
  private:
   Linear fc1_;

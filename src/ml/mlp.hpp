@@ -36,6 +36,9 @@ class MlpHead : public Layer {
 
   std::vector<Param*> params() override;
 
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
+
  private:
   Linear fc1_;
   ReLU relu_;

@@ -36,6 +36,25 @@ class GraphTransformer : public Layer {
   std::vector<Param*> params() override;
   const TransformerConfig& config() const { return config_; }
 
+  // Read-only structure views for the float32 inference engine's weight
+  // snapshot (ml/engine.cpp): the engine re-packs these into flat buffers.
+  struct BlockView {
+    const LayerNorm* ln1;
+    const MultiHeadAttention* attn;
+    const LayerNorm* ln2;
+    const FeedForward* ffn;
+  };
+  const Linear& input_proj() const { return *input_proj_; }
+  const Mat& pos_table() const { return pos_table_; }
+  const LayerNorm& final_ln() const { return *final_ln_; }
+  std::vector<BlockView> block_views() const {
+    std::vector<BlockView> views;
+    views.reserve(blocks_.size());
+    for (const Block& b : blocks_)
+      views.push_back({b.ln1.get(), b.attn.get(), b.ln2.get(), b.ffn.get()});
+    return views;
+  }
+
  private:
   struct Block {
     std::unique_ptr<LayerNorm> ln1;

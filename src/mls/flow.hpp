@@ -78,6 +78,10 @@ class DesignFlow {
   // which were skipped as fresh.
   const flow::RunReport& last_run_report() const { return pm_.last_report(); }
 
+  // Decision vector from the most recent evaluate_gnn (DecidePass output);
+  // empty before the first GNN evaluate.
+  const std::vector<std::uint8_t>& decide_flags() const { return decide_pass_.flags(); }
+
   // Runs exactly the named registry passes (canonical order, regardless of
   // the order given) against the current DB state — the engine behind
   // gnnmls_lint --only. Throws std::invalid_argument on an unknown name.

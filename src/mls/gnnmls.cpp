@@ -9,6 +9,14 @@
 
 namespace gnnmls::mls {
 
+const char* to_string(MlEnginePath path) {
+  switch (path) {
+    case MlEnginePath::kScalar: return "scalar";
+    case MlEnginePath::kBatched: return "batched";
+  }
+  return "unknown";
+}
+
 GnnMlsEngine::GnnMlsEngine(const GnnMlsConfig& config) : config_(config), rng_(config.seed) {
   encoder_ = std::make_unique<ml::GraphTransformer>(config_.transformer, rng_);
   head_ = std::make_unique<ml::MlpHead>(config_.transformer.dim, config_.mlp_hidden, rng_);
@@ -28,6 +36,7 @@ std::vector<double> GnnMlsEngine::pretrain(std::span<const ml::PathGraph> unlabe
   for (const ml::PathGraph& g : unlabeled) normed.push_back(normalized(g));
   const std::vector<double> loss = dgi_->pretrain(normed, config_.dgi, rng_);
   pretrained_ = true;
+  infer_dirty_ = true;  // scaler refit + encoder weights moved
   if (!loss.empty())
     util::log_info("gnn-mls: DGI pretrained on ", normed.size(), " paths, loss ",
                    loss.front(), " -> ", loss.back());
@@ -50,6 +59,7 @@ TrainReport GnnMlsEngine::fine_tune(std::span<const ml::PathGraph> labeled,
 
   report.fine_tune_loss =
       ml::fine_tune(*encoder_, *head_, train_set, config_.fine_tune, rng_);
+  infer_dirty_ = true;
   // Metrics at the canonical 0.5 threshold; the decision stage separately
   // applies its own (more aggressive) threshold plus the trial guard.
   report.train_metrics = ml::evaluate(*encoder_, *head_, train_set, 0.5);
@@ -62,9 +72,22 @@ TrainReport GnnMlsEngine::fine_tune(std::span<const ml::PathGraph> labeled,
 }
 
 std::vector<double> GnnMlsEngine::predict(const ml::PathGraph& raw_graph) {
-  const ml::PathGraph g = normalized(raw_graph);
-  ml::Mat h = encoder_->forward(g.x, g.adj);
+  // Normalize into a reusable scratch matrix: the hot path used to copy the
+  // whole PathGraph (features, adjacency, labels, net ids) per call.
+  scaler_.apply_into(raw_graph.x, predict_scratch_);
+  ml::Mat h = encoder_->forward(predict_scratch_, raw_graph.adj);
   return head_->predict(h);
+}
+
+ml::InferenceEngine& GnnMlsEngine::inference() {
+  if (!infer_) {
+    infer_ = std::make_unique<ml::InferenceEngine>(*encoder_, *head_, scaler_, config_.engine);
+    infer_dirty_ = false;
+  } else if (infer_dirty_) {
+    infer_->sync(*encoder_, *head_, scaler_);
+    infer_dirty_ = false;
+  }
+  return *infer_;
 }
 
 std::vector<std::uint8_t> GnnMlsEngine::decide(const netlist::Design& design,
@@ -80,19 +103,39 @@ std::vector<std::uint8_t> GnnMlsEngine::decide(const netlist::Design& design,
   std::vector<float> best(design.nl.num_nets(), 0.0f);
   {
     GNNMLS_SPAN("mls.decide.inference");
-    // Per-graph forward-pass latency: the batched-inference work (ROADMAP
-    // item 2) needs the tail, not the mean — one oversized path graph per
-    // decide dominates it.
-    static obs::Histogram& infer_s = obs::Metrics::instance().histogram("ml.infer_s");
-    for (const ml::PathGraph& g : corpus.graphs) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const std::vector<double> probs = predict(g);
-      infer_s.observe(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
-      for (std::size_t i = 0; i < probs.size(); ++i) {
-        const std::uint32_t net = g.net_ids[i];
-        if (net == netlist::kNullId) continue;
-        best[net] = std::max(best[net], static_cast<float>(probs[i]));
+    if (config_.ml_engine == MlEnginePath::kBatched) {
+      // Batched float32 path: pack/forward/cache inside the engine, which
+      // also owns the ml.infer_s / ml.infer_graph_s / cache-hit metrics.
+      const std::vector<std::vector<float>> probs = inference().predict(corpus.graphs);
+      for (std::size_t gi = 0; gi < corpus.graphs.size(); ++gi) {
+        const ml::PathGraph& g = corpus.graphs[gi];
+        const std::vector<float>& p = probs[gi];
+        for (std::size_t i = 0; i < p.size(); ++i) {
+          const std::uint32_t net = g.net_ids[i];
+          if (net == netlist::kNullId) continue;
+          best[net] = std::max(best[net], p[i]);
+        }
+      }
+    } else {
+      // Reference scalar path (the A/B baseline). ml.infer_s is per batch —
+      // one graph is a batch of one here — and ml.infer_graph_s keeps the
+      // per-graph-equivalent quantile comparable across engines and with
+      // pre-batching ledger records.
+      static obs::Histogram& infer_s = obs::Metrics::instance().histogram("ml.infer_s");
+      static obs::Histogram& infer_graph_s =
+          obs::Metrics::instance().histogram("ml.infer_graph_s");
+      for (const ml::PathGraph& g : corpus.graphs) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<double> probs = predict(g);
+        const double dt =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        infer_s.observe(dt);
+        infer_graph_s.observe(dt);
+        for (std::size_t i = 0; i < probs.size(); ++i) {
+          const std::uint32_t net = g.net_ids[i];
+          if (net == netlist::kNullId) continue;
+          best[net] = std::max(best[net], static_cast<float>(probs[i]));
+        }
       }
     }
   }
@@ -127,8 +170,11 @@ std::vector<std::uint8_t> GnnMlsEngine::decide(const netlist::Design& design,
     c.shared_tier = design.nl.cell(design.nl.pin(net.driver).cell).tier == 0 ? 1 : 0;
     candidates.push_back(c);
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+  // Net id breaks score ties so admission order — and therefore the flag
+  // vector — is deterministic regardless of engine path or thread count.
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    return a.score != b.score ? a.score > b.score : a.net < b.net;
+  });
 
   // Shared-pair budget per tier: leftover tracks on the top two layers.
   const route::RoutingGrid& grid = router.grid();

@@ -16,10 +16,17 @@
 #include <memory>
 
 #include "ml/dgi.hpp"
+#include "ml/engine.hpp"
 #include "ml/mlp.hpp"
 #include "mls/pathset.hpp"
 
 namespace gnnmls::mls {
+
+// Which inference path decide() runs: the double-precision per-graph stack
+// (reference) or the batched float32 SIMD engine (default; ml/engine.hpp).
+enum class MlEnginePath { kScalar, kBatched };
+
+const char* to_string(MlEnginePath path);
 
 struct GnnMlsConfig {
   ml::TransformerConfig transformer;  // defaults: 3 layers, 3 heads, dim 48
@@ -37,6 +44,8 @@ struct GnnMlsConfig {
   double shared_capacity_fraction = 0.5;
   int mlp_hidden = 24;
   std::uint64_t seed = 42;
+  MlEnginePath ml_engine = MlEnginePath::kBatched;
+  ml::EngineOptions engine;  // batching / embedding-cache knobs
 };
 
 struct TrainReport {
@@ -72,6 +81,22 @@ class GnnMlsEngine {
   const GnnMlsConfig& config() const { return config_; }
   bool pretrained() const { return pretrained_; }
 
+  // The batched float32 engine, created on first use and re-synced (weight
+  // re-snapshot + cache drop) after any pretrain/fine_tune.
+  ml::InferenceEngine& inference();
+  // Engine stats when the engine exists (nullptr before first batched use).
+  const ml::EngineStats* inference_stats() const {
+    return infer_ ? &infer_->stats() : nullptr;
+  }
+  // Revision-driven cache invalidation: DecidePass feeds RouteDelta /
+  // dirty-net sets here so an ECO evicts exactly the affected graphs.
+  void invalidate_cached_nets(std::span<const std::uint32_t> nets) {
+    if (infer_) infer_->invalidate_nets(nets);
+  }
+  void clear_inference_cache() {
+    if (infer_) infer_->clear_cache();
+  }
+
  private:
   ml::PathGraph normalized(const ml::PathGraph& raw) const;
 
@@ -82,6 +107,9 @@ class GnnMlsEngine {
   std::unique_ptr<ml::DgiTrainer> dgi_;
   ml::FeatureScaler scaler_;
   bool pretrained_ = false;
+  ml::Mat predict_scratch_;  // scalar-path normalize buffer (no graph copies)
+  std::unique_ptr<ml::InferenceEngine> infer_;
+  bool infer_dirty_ = false;  // training moved weights since the last sync
 };
 
 }  // namespace gnnmls::mls

@@ -32,6 +32,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kDegrade: return "degrade";
     case EventKind::kFaultArm: return "fault_arm";
     case EventKind::kFaultTrip: return "fault_trip";
+    case EventKind::kDispatch: return "dispatch";
   }
   return "unknown";
 }

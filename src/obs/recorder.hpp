@@ -48,6 +48,7 @@ enum class EventKind : std::uint8_t {
   kDegrade,      // what=pass.fallback, a=error code
   kFaultArm,     // what=site, a=remaining trip count
   kFaultTrip,    // what=site
+  kDispatch,     // what=ml.simd.<level>, a=SimdLevel — kernel table selection
 };
 const char* to_string(EventKind kind);
 

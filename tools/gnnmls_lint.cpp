@@ -18,6 +18,7 @@
 #include <cstring>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,7 +43,11 @@ void usage(std::FILE* to) {
                "  --design NAME    maeri16 | maeri128 | maeri256 | a7-single | a7-dual |\n"
                "                   random   (default maeri16)\n"
                "  --seed N         generator seed override\n"
-               "  --strategy S     none | sota   (default none)\n"
+               "  --strategy S     none | sota | gnn   (default none; gnn stages a small\n"
+               "                   engine: DGI pretrain on the baseline corpus, then the\n"
+               "                   batched decide pass drives the routing)\n"
+               "  --ml-engine E    scalar | batched   inference path for --strategy gnn\n"
+               "                   (default batched; the A/B flag for the SIMD engine)\n"
                "  --homo           homogeneous 28nm+28nm stack (default heterogeneous)\n"
                "  --no-pdn         skip PDN synthesis and the IR-budget check\n"
                "  --with-dft       insert scan + wire-based MLS DFT, then check it\n"
@@ -184,6 +189,7 @@ std::vector<std::string> split_csv(const std::string& csv) {
 int main(int argc, char** argv) {
   std::string design_name = "maeri16";
   std::string strategy = "none";
+  std::string ml_engine = "batched";
   std::string injection;
   std::string trace_out;
   std::string metrics_out;
@@ -208,6 +214,8 @@ int main(int argc, char** argv) {
     if (arg == "--design") design_name = value();
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--strategy") strategy = value();
+    else if (arg.rfind("--ml-engine=", 0) == 0) ml_engine = arg.substr(12);
+    else if (arg == "--ml-engine") ml_engine = value();
     else if (arg == "--homo") hetero = false;
     else if (arg == "--no-pdn") run_pdn = false;
     else if (arg == "--with-dft") with_dft = true;
@@ -242,8 +250,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (strategy != "none" && strategy != "sota") {
+  if (strategy != "none" && strategy != "sota" && strategy != "gnn") {
     std::fprintf(stderr, "gnnmls_lint: unknown strategy '%s'\n", strategy.c_str());
+    return 2;
+  }
+  if (ml_engine != "scalar" && ml_engine != "batched") {
+    std::fprintf(stderr, "gnnmls_lint: unknown ml engine '%s'\n", ml_engine.c_str());
+    return 2;
+  }
+  if (strategy == "gnn" && !only.empty()) {
+    std::fprintf(stderr, "gnnmls_lint: --strategy gnn needs the full pipeline (drop --only)\n");
     return 2;
   }
   for (const std::string& name : only)
@@ -287,19 +303,44 @@ int main(int argc, char** argv) {
   const bool audit_on = flow::PassManager::audit_enabled(config);  // --audit or GNNMLS_AUDIT
   mls::DesignFlow flow(std::move(design), config);
 
-  const std::vector<std::uint8_t> flags =
-      (strategy == "sota") ? mls::sota_select(flow.design(), config.sota)
-                           : std::vector<std::uint8_t>{};
-  const mls::Strategy tag = (strategy == "sota") ? mls::Strategy::kSota : mls::Strategy::kNone;
+  std::vector<std::uint8_t> flags = (strategy == "sota")
+                                        ? mls::sota_select(flow.design(), config.sota)
+                                        : std::vector<std::uint8_t>{};
+  const mls::Strategy tag = (strategy == "sota")  ? mls::Strategy::kSota
+                            : (strategy == "gnn") ? mls::Strategy::kGnn
+                                                  : mls::Strategy::kNone;
+  // --strategy gnn stages a deliberately small engine (1-epoch DGI pretrain
+  // on the baseline corpus): enough to exercise the full inference path —
+  // batched SIMD engine, embedding cache, GNN→SOTA degradation — without
+  // turning a lint run into a training run.
+  std::unique_ptr<mls::GnnMlsEngine> gnn_engine;
+  mls::CorpusOptions gnn_corpus;
+  gnn_corpus.max_paths = 120;
+  gnn_corpus.attach_labels = false;
+  if (strategy == "gnn") {
+    mls::GnnMlsConfig gcfg;
+    gcfg.dgi.epochs = 1;
+    gcfg.ml_engine =
+        ml_engine == "scalar" ? mls::MlEnginePath::kScalar : mls::MlEnginePath::kBatched;
+    gnn_engine = std::make_unique<mls::GnnMlsEngine>(gcfg);
+  }
   bool flow_ok = true;
   mls::FlowMetrics flow_metrics;
   try {
-    if (!only.empty())
+    if (!only.empty()) {
       flow_metrics = flow.run_passes(only, flags, tag);
-    else if (with_dft)
+    } else if (strategy == "gnn") {
+      flow.evaluate_no_mls();
+      gnn_engine->pretrain(flow.corpus(gnn_corpus).graphs);
+      flow_metrics = flow.evaluate_gnn(*gnn_engine, gnn_corpus);
+      flags = flow.decide_flags();
+      if (with_dft)
+        flow_metrics = flow.evaluate_with_dft(flags, tag, dft::MlsDftStyle::kWireBased).flow;
+    } else if (with_dft) {
       flow_metrics = flow.evaluate_with_dft(flags, tag, dft::MlsDftStyle::kWireBased).flow;
-    else
+    } else {
       flow_metrics = flow.evaluate(flags, tag);
+    }
   } catch (const std::exception& e) {
     // A corrupt netlist can kill the flow mid-stage (e.g. a multi-driver net
     // stalls the STA topological sort). Diagnosing that is this tool's job,
@@ -338,6 +379,20 @@ int main(int argc, char** argv) {
       for (const ft::AuditViolation& v : audit_violations)
         std::printf("%s\n", v.line().c_str());
     }
+  }
+
+  if (gnn_engine) {
+    // One greppable line for the ci.sh ml-engine gate: which inference path
+    // and kernel dispatch served decide, plus the embedding-cache traffic.
+    const ml::EngineStats* st = gnn_engine->inference_stats();
+    std::printf(
+        "ml-engine: path=%s simd=%s batches=%llu batch_paths=%llu cache_hits=%llu "
+        "cache_misses=%llu\n",
+        mls::to_string(gnn_engine->config().ml_engine), ml::to_string(ml::active_simd()),
+        static_cast<unsigned long long>(st ? st->batches : 0),
+        static_cast<unsigned long long>(st ? st->paths : 0),
+        static_cast<unsigned long long>(st ? st->cache_hits : 0),
+        static_cast<unsigned long long>(st ? st->cache_misses : 0));
   }
 
   // Scheduling probe: a second evaluate on the now-unmutated DB must find

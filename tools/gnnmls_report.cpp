@@ -14,9 +14,10 @@
 //       Appends one "bench" ledger record built from the benchmark JSON.
 //
 //   gnnmls_report check-routing BENCH_routing.json
-//       The routing quality/throughput gate: negotiated overflow <= serial,
-//       overflow identical across thread counts, and >= 2x nets/s at 4
-//       threads on hosts with >= 4 cores.
+//   gnnmls_report check-ml BENCH_ml.json
+//       The ML inference gate: batched decide >= 5x over the scalar stack
+//       on a cold cache, warm decide no slower than cold, and >= 90% cache
+//       hits on the warm re-decide.
 //
 //   gnnmls_report check-trace TRACE.json --require a,b,c
 //       The Chrome-trace gate: traceEvents non-empty and every required
@@ -251,6 +252,61 @@ int cmd_check_routing(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_check_ml(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "usage: gnnmls_report check-ml BENCH_ml.json\n");
+    return 2;
+  }
+  std::string text;
+  Json root;
+  if (!read_file(args[0], text) || !gnnmls::util::parse_json(text, root)) {
+    std::fprintf(stderr, "gnnmls_report: cannot parse %s\n", args[0].c_str());
+    return 2;
+  }
+  const Json* benches = root.find("benchmarks");
+  if (!benches || benches->kind != Json::kArray) {
+    std::fprintf(stderr, "gnnmls_report: %s has no benchmarks\n", args[0].c_str());
+    return 2;
+  }
+  std::map<std::string, const Json*> rows;
+  for (const Json& b : benches->items)
+    if (b.kind == Json::kObject) rows[std::string(b.str_or("name", ""))] = &b;
+  const Json* scalar = rows.count("BM_DecideStage") ? rows["BM_DecideStage"] : nullptr;
+  const Json* batched = rows.count("BM_DecideStageBatched") ? rows["BM_DecideStageBatched"] : nullptr;
+  const Json* cached = rows.count("BM_DecideStageCached") ? rows["BM_DecideStageCached"] : nullptr;
+  if (!scalar || !batched || !cached) {
+    std::fprintf(stderr,
+                 "gnnmls_report: missing BM_DecideStage / BM_DecideStageBatched / "
+                 "BM_DecideStageCached\n");
+    return 2;
+  }
+  const double t_scalar = scalar->num_or("real_time", 0.0);
+  const double t_batched = batched->num_or("real_time", 0.0);
+  const double t_cached = cached->num_or("real_time", 0.0);
+  // Acceptance gate: the batched SIMD engine must beat the scalar stack by
+  // at least 5x on a cold cache, and a warm re-decide must not be slower
+  // than cold (in practice it is near-no-op).
+  const double speedup = t_batched > 0.0 ? t_scalar / t_batched : 0.0;
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "ml gate FAILED: batched decide only %.2fx over scalar (< 5x)\n",
+                 speedup);
+    return 1;
+  }
+  if (t_cached > t_batched) {
+    std::fprintf(stderr, "ml gate FAILED: warm decide (%.3g) slower than cold (%.3g)\n",
+                 t_cached, t_batched);
+    return 1;
+  }
+  const double hit_pct = cached->num_or("cache_hit_pct", -1.0);
+  if (hit_pct < 90.0) {
+    std::fprintf(stderr, "ml gate FAILED: warm decide cache hits %.1f%% (< 90%%)\n", hit_pct);
+    return 1;
+  }
+  std::printf("ml perf gate OK: batched %.2fx over scalar, warm/cold %.2f, cache hits %.1f%%\n",
+              speedup, t_batched > 0.0 ? t_cached / t_batched : 0.0, hit_pct);
+  return 0;
+}
+
 int cmd_check_trace(const std::vector<std::string>& args) {
   std::string path;
   std::vector<std::string> required;
@@ -308,7 +364,7 @@ int cmd_check_trace(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: gnnmls_report diff|ingest|check-routing|check-trace ... "
+                 "usage: gnnmls_report diff|ingest|check-routing|check-ml|check-trace ... "
                  "(see the header comment)\n");
     return 2;
   }
@@ -317,6 +373,7 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmd_diff(args);
   if (cmd == "ingest") return cmd_ingest(args);
   if (cmd == "check-routing") return cmd_check_routing(args);
+  if (cmd == "check-ml") return cmd_check_ml(args);
   if (cmd == "check-trace") return cmd_check_trace(args);
   std::fprintf(stderr, "gnnmls_report: unknown command '%s'\n", cmd.c_str());
   return 2;
