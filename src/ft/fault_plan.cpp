@@ -27,6 +27,10 @@ constexpr FaultSite kSites[] = {
     {"pdn.synthesize", "PDN synthesis dispatched, kPdn not yet committed", false},
     {"check.run", "integrity audit dispatched (pure-read wave member)", false},
     {"decide.infer", "GNN inference dispatched; DecidePass degrades to SOTA", false},
+    {"svc.admit", "admission check passed, request not yet enqueued", false},
+    {"svc.fork", "session slot reserved, baseline DB not yet forked", false},
+    {"svc.request", "request dequeued on a worker, session state untouched", false},
+    {"svc.quarantine", "failure budget exceeded, quarantine transition pending", false},
 };
 
 }  // namespace
@@ -91,8 +95,17 @@ FaultPlan::SiteState* FaultPlan::state_of(std::string_view site) {
 
 void FaultPlan::arm(std::string_view site, std::uint64_t nth) {
   SiteState* s = state_of(site);
-  if (s == nullptr)
-    throw std::invalid_argument("unknown fault site: " + std::string(site));
+  if (s == nullptr) {
+    // List the catalogue: a typo'd site name must not read like "maybe the
+    // site exists but can't be armed" — show exactly what is spellable.
+    std::string msg = "unknown fault site: " + std::string(site) + " (valid sites:";
+    for (const FaultSite& k : kSites) {
+      msg += ' ';
+      msg += k.name;
+    }
+    msg += ')';
+    throw std::invalid_argument(msg);
+  }
   if (nth == 0) throw std::invalid_argument("fault site ordinal must be >= 1");
   // Trip relative to the hits already seen, so re-arming mid-run works.
   s->trip_at.store(s->hits.load(std::memory_order_relaxed) + nth,
